@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test bench report examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every experiment table (E1-E14) alongside timing.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# One-command Markdown report of all measured tables.
+report:
+	$(GO) run ./cmd/reportgen -out REPORT.md
+
+examples:
+	@for ex in examples/*/; do \
+		echo "== $$ex =="; \
+		$(GO) run ./$$ex >/dev/null || exit 1; \
+	done; echo "all examples ran"

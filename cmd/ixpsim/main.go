@@ -1,0 +1,79 @@
+// Command ixpsim runs the interconnection experiments from the paper's §3
+// case studies: mandatory-peering circumvention (E1) and giant-IXP gravity
+// (E2).
+//
+// Usage:
+//
+//	ixpsim -experiment circumvention [-competitors 6] [-incumbent-share 0.6] [-max-shells 6]
+//	ixpsim -experiment gravity [-isps 60] [-local-ixps 6] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/ixp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ixpsim: ")
+
+	experiment := flag.String("experiment", "circumvention", "which experiment to run: circumvention | gravity | economics")
+	competitors := flag.Int("competitors", 6, "circumvention: number of competitor ISPs")
+	incumbentShare := flag.Float64("incumbent-share", 0.6, "circumvention: incumbent's user share")
+	maxShells := flag.Int("max-shells", 6, "circumvention: max shell ASNs to sweep")
+	isps := flag.Int("isps", 60, "gravity: number of Global-South ISPs")
+	localIXPs := flag.Int("local-ixps", 6, "gravity: number of local exchanges")
+	seed := flag.Uint64("seed", 42, "gravity: PoP placement seed")
+	flag.Parse()
+
+	switch *experiment {
+	case "circumvention":
+		rows, err := ixp.CircumventionSweep(*competitors, *incumbentShare, *maxShells)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("E1 — Mandatory peering vs ASN circumvention (Telmex case)")
+		fmt.Println("scenario                 shells  sessions  locality  incumbent-locality")
+		for _, r := range rows {
+			fmt.Printf("%-24s %6d  %8d  %8.3f  %18.3f\n",
+				r.Mode, r.Shells, r.IXPSessions, r.DomesticShare, r.IncumbentLocal)
+		}
+	case "gravity":
+		presences := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+		rows, err := ixp.GravitySweep(*isps, *localIXPs, presences, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("E2 — Giant-IXP gravity vs local content presence (DE-CIX case)")
+		fmt.Println("content-presence  giant-share  local-share  transit-share  remote-peered")
+		for _, r := range rows {
+			fmt.Printf("%16.2f  %11.3f  %11.3f  %13.3f  %13d\n",
+				r.ContentPresence, r.GiantIXPShare, r.LocalIXPShare, r.TransitShare, r.RemotePeered)
+		}
+	case "economics":
+		base := ixp.EconConfig{
+			SouthISPs: *isps, LocalIXPs: *localIXPs, ContentPresence: 0.5,
+			ContentVolume: 10, TransitPricePerUnit: 2, Seed: *seed,
+		}
+		costs := []float64{5, 10, 15, 19, 21, 30, 50, 80}
+		rows, err := ixp.EconomicSweep(base, costs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("E2b — Remote-peering economics (adoption crossover at port cost = volume x transit price = 20)")
+		fmt.Println("port-cost  remote-peered  giant-share  local-share  transit-share  mean-cost")
+		for _, r := range rows {
+			fmt.Printf("%9.0f  %13d  %11.3f  %11.3f  %13.3f  %9.2f\n",
+				r.RemotePortCost, r.RemotePeered, r.GiantIXPShare, r.LocalIXPShare,
+				r.TransitShare, r.MeanCost)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

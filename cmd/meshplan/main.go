@@ -1,0 +1,79 @@
+// Command meshplan answers the community-network deployment questions the
+// placement tooling supports: where should the (first, second) backhaul
+// gateway go, and what per-member rates does the topology actually allow?
+//
+// Usage:
+//
+//	meshplan [-nodes 30] [-radius 0.35] [-seed 7] [-link-capacity 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/cn"
+	"repro/internal/rng"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("meshplan: ")
+
+	nodes := flag.Int("nodes", 30, "mesh size")
+	radius := flag.Float64("radius", 0.35, "radio range in unit-square units")
+	seed := flag.Uint64("seed", 7, "placement seed")
+	linkCap := flag.Float64("link-capacity", 1, "per-link airtime capacity")
+	flag.Parse()
+
+	def, err := cn.BuildMesh(*nodes, *radius, rng.New(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mesh: %d nodes, %d links\n", def.G.N(), def.G.M())
+	fmt.Printf("arbitrary gateway (node %d): mean path ETX %.2f\n", def.Gateway, def.MeanPathETX())
+
+	best, bestMean := cn.BestGateway(def.G)
+	fmt.Printf("1-median gateway (node %d): mean path ETX %.2f\n", best, bestMean)
+
+	opt, err := cn.BuildOptimizedMesh(*nodes, *radius, rng.New(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	second, combined := cn.BestSecondGateway(opt.G, opt.Gateway)
+	fmt.Printf("best second gateway: node %d (combined mean ETX %.2f)\n\n", second, combined)
+
+	for _, variant := range []struct {
+		name string
+		net  *cn.Network
+	}{
+		{"arbitrary", def},
+		{"optimized", opt},
+	} {
+		rates, err := variant.net.MaxMinRates(*linkCap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agg := 0.0
+		sorted := append([]float64(nil), rates...)
+		sort.Float64s(sorted)
+		for _, r := range rates {
+			agg += r
+		}
+		fmt.Printf("%s placement: aggregate capacity %.2f, min member rate %.3f, max %.3f\n",
+			variant.name, agg, sorted[1], sorted[len(sorted)-1]) // sorted[0] is the gateway's 0
+	}
+
+	fmt.Println("\nnear/far rate gap by hop quartile (default vs optimized):")
+	rows, err := cn.TopoGapExperiment(*nodes, *radius, *linkCap, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("placement  quartile  mean-hops  mean-rate")
+	for _, r := range rows {
+		fmt.Printf("%-9s  %8d  %9.2f  %9.4f\n", r.Placement, r.Quartile, r.MeanHops, r.MeanRate)
+	}
+	fmt.Printf("gap (near/far): default %.2fx, optimized %.2fx\n",
+		cn.NearFarGap(rows, "default"), cn.NearFarGap(rows, "optimized"))
+}

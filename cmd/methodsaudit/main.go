@@ -1,0 +1,131 @@
+// Command methodsaudit compiles a study description (core.StudySpec JSON)
+// into the methods appendix the paper's §5 recommendations call for, and
+// scores the study against the recommendations checklist.
+//
+// Usage:
+//
+//	methodsaudit -in study.json [-out appendix.md]
+//	methodsaudit -example         # print a filled-in example spec
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/positionality"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("methodsaudit: ")
+
+	in := flag.String("in", "", "study spec JSON")
+	out := flag.String("out", "", "write the Markdown appendix here (default stdout)")
+	example := flag.Bool("example", false, "print an example study spec and exit")
+	export := flag.String("export", "", "re-export the normalized study spec JSON here")
+	flag.Parse()
+
+	if *example {
+		printExample()
+		return
+	}
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "need -in FILE (or -example)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	study, err := core.ReadStudy(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *export != "" {
+		ef, err := os.Create(*export)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := study.WriteStudy(ef); err != nil {
+			log.Fatal(err)
+		}
+		if err := ef.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "exported normalized spec to %s\n", *export)
+	}
+
+	md := study.MethodsAppendix()
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	} else {
+		fmt.Print(md)
+	}
+
+	c := study.Check()
+	fmt.Fprintf(os.Stderr, "\nchecklist (%d/5):\n", c.Score())
+	fmt.Fprintf(os.Stderr, "  partnerships documented:  %v\n", c.PartnershipsDocumented)
+	fmt.Fprintf(os.Stderr, "  conversations documented: %v\n", c.ConversationsDocumented)
+	fmt.Fprintf(os.Stderr, "  positionality provided:   %v\n", c.PositionalityProvided)
+	fmt.Fprintf(os.Stderr, "  participation full:       %v\n", c.ParticipationFull)
+	fmt.Fprintf(os.Stderr, "  ethics audit clean:       %v\n", c.EthicsClean)
+	if c.PositionalityGaps > 0 {
+		fmt.Fprintf(os.Stderr, "  WARNING: %d relevant positionality attribute(s) undisclosed\n", c.PositionalityGaps)
+	}
+}
+
+func printExample() {
+	spec := core.StudySpec{
+		Title: "Community LTE Deployment Study",
+		Stakeholders: []core.StakeholderSpec{
+			{ID: "scn", Name: "Seattle Community Network", Marginal: true, ConsentRecorded: true},
+		},
+		Engagements: []core.EngagementSpec{
+			{StakeholderID: "scn", Phase: par.ProblemFormation.String(), Level: par.CommunityLed.String()},
+			{StakeholderID: "scn", Phase: par.SolutionDesign.String(), Level: par.Collaborating.String()},
+			{StakeholderID: "scn", Phase: par.Implementation.String(), Level: par.Collaborating.String()},
+			{StakeholderID: "scn", Phase: par.Evaluation.String(), Level: par.Collaborating.String()},
+			{StakeholderID: "scn", Phase: par.Publication.String(), Level: par.Collaborating.String()},
+		},
+		Reflections: []core.ReflectionSpec{
+			{Phase: par.ProblemFormation.String(), Note: "the research lead is also the network lead; goals may conflict"},
+		},
+		Partnerships: []core.PartnershipSpec{
+			{Partner: "Seattle Community Network", Formed: "introduced through the municipal digital-equity coalition",
+				Influenced: []string{par.ProblemFormation.String(), par.Evaluation.String()}},
+		},
+		Conversations: []core.Conversation{
+			{With: "volunteer operator", Context: "site visit", Day: 12,
+				Summary:        "billing confusion drives churn more than coverage gaps",
+				Quotes:         []string{"people leave because the top-up flow is confusing"},
+				ConsentToQuote: true,
+				OpenQuestions:  []string{"does confusion correlate with language?"}},
+		},
+		Researchers: []core.ResearcherSpec{
+			{Name: "Lead Researcher", Attributes: []core.AttributeSpec{
+				{Kind: positionality.Expertise.String(), Value: "network engineering", Topics: []string{"lte"}, Disclosed: true},
+				{Kind: positionality.Location.String(), Value: "the Global North", Topics: []string{"access"}, Disclosed: true},
+				{Kind: positionality.Belief.String(), Value: "community ownership improves sustainability", Topics: []string{"governance"}, Disclosed: true},
+			}},
+		},
+		Claims: []positionality.Claim{
+			{ID: "c1", Text: "community governance improves sustainability", Topics: []string{"governance"}},
+		},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(spec); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Command qualcoder analyzes a qualitative-coding project (codebook +
+// transcripts + annotations in the JSON interchange format of
+// internal/qualcode): inter-rater reliability, themes, saturation, and
+// redacted quote extraction.
+//
+// Usage:
+//
+//	qualcoder -in project.json [-quotes CODE] [-min-coders 1] [-theme-support 2]
+//	qualcoder -demo            # generate and analyze a synthetic project
+//	qualcoder -demo -out project.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"repro/internal/qualcode"
+	"repro/internal/rng"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qualcoder: ")
+
+	in := flag.String("in", "", "project JSON to analyze")
+	out := flag.String("out", "", "write the (possibly demo) project JSON here")
+	demo := flag.Bool("demo", false, "generate a synthetic coded corpus instead of reading one")
+	quotesFor := flag.String("quotes", "", "extract redacted quotes for this code")
+	minCoders := flag.Int("min-coders", 1, "minimum coders agreeing for a quote")
+	themeSupport := flag.Int("theme-support", 2, "minimum co-occurrence support for theme edges")
+	seed := flag.Uint64("seed", 1, "demo generation seed")
+	suggest := flag.String("suggest", "", "train a code suggester on the first coder and score this text")
+	consensus := flag.Bool("consensus", false, "add a majority-vote consensus coder before analysis")
+	flag.Parse()
+
+	var p *qualcode.Project
+	switch {
+	case *demo:
+		p = generateDemo(*seed)
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		p, err = qualcode.ReadFrom(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -in FILE or -demo")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote project to %s\n", *out)
+	}
+
+	if *consensus {
+		if err := p.BuildConsensus("consensus", 2); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("added majority-vote consensus coder")
+	}
+
+	coders := p.Coders()
+	fmt.Printf("project: %d documents, %d codes, %d coders, %d annotations\n",
+		len(p.DocumentIDs()), p.Codebook.Len(), len(coders), len(p.Annotations()))
+
+	if *suggest != "" {
+		if len(coders) == 0 {
+			log.Fatal("no coders to train a suggester on")
+		}
+		s, err := qualcode.TrainSuggester(p, coders[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nSuggestions for %q (trained on %s)\n", *suggest, coders[0])
+		for _, sg := range s.Suggest(*suggest, 3) {
+			fmt.Printf("  %-16s %.3f\n", sg.CodeID, sg.Confidence)
+		}
+	}
+
+	fmt.Println("\nReliability")
+	if k := p.MeanPairwiseKappa(); !math.IsNaN(k) {
+		fmt.Printf("  mean pairwise Cohen kappa: %.3f\n", k)
+	}
+	if a := p.KrippendorffAlpha(); !math.IsNaN(a) {
+		fmt.Printf("  Krippendorff alpha:        %.3f\n", a)
+	}
+	for i := 0; i < len(coders); i++ {
+		for j := i + 1; j < len(coders); j++ {
+			fmt.Printf("  agreement %s/%s: %.3f\n",
+				coders[i], coders[j], p.PercentAgreement(coders[i], coders[j]))
+		}
+	}
+
+	fmt.Println("\nCode counts")
+	counts := p.CodeCounts()
+	for _, id := range p.Codebook.IDs() {
+		fmt.Printf("  %-16s %d\n", id, counts[id])
+	}
+
+	fmt.Println("\nThemes (label propagation over co-occurrence)")
+	themes := p.Themes(*themeSupport, rng.New(*seed))
+	if len(themes) == 0 {
+		fmt.Println("  none above support threshold")
+	}
+	for i, th := range themes {
+		fmt.Printf("  theme %d (support %d): %v\n", i+1, th.Support, th.Codes)
+	}
+
+	fmt.Println("\nSaturation curve (cumulative distinct codes per document)")
+	fmt.Printf("  %v\n", p.SaturationCurve())
+
+	if *quotesFor != "" {
+		fmt.Printf("\nQuotes for %q (redacted, >= %d coders)\n", *quotesFor, *minCoders)
+		for _, q := range p.Quotes(*quotesFor, *minCoders, true) {
+			fmt.Printf("  [%s/%d] %s: %q\n", q.DocID, q.SegmentID, q.Speaker, q.Text)
+		}
+	}
+}
+
+// generateDemo builds a synthetic coded project with three noisy coders and
+// companion-code structure so themes are discoverable.
+func generateDemo(seed uint64) *qualcode.Project {
+	r := rng.New(seed)
+	cfg := qualcode.SynthConfig{
+		Docs: 10, SegsPerDoc: 12,
+		Companions:    map[string]string{"maintenance": "governance", "billing": "trust"},
+		CompanionProb: 0.6,
+	}
+	p, truth, err := qualcode.GenerateCorpus(cfg, r.Split())
+	if err != nil {
+		log.Fatal(err)
+	}
+	coderRNG := r.Split()
+	for i, acc := range []float64{0.9, 0.85, 0.8} {
+		sc := qualcode.SimulatedCoder{Name: fmt.Sprintf("coder%d", i+1), Accuracy: acc}
+		if err := sc.CodeProject(p, truth, cfg, coderRNG); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return p
+}

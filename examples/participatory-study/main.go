@@ -1,0 +1,82 @@
+// participatory-study demonstrates the PAR toolchain end to end (paper §2):
+// the problem-discovery comparison between a data-driven and a community-
+// driven pipeline, the iterative co-design loop, and how the fieldwork
+// schedule and survey design choices interact with reaching the same
+// community.
+//
+// Run with:
+//
+//	go run ./examples/participatory-study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ethno"
+	"repro/internal/par"
+	"repro/internal/survey"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Whose problems enter the agenda?
+	fmt.Println("== Problem discovery (E4) ==")
+	rows, err := par.RunDiscovery(par.DefaultDiscoveryConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%-14s marginal-share=%.3f (population %.3f)  mean-impact=%.3f\n",
+			r.Pipeline, r.MarginalShare, r.MarginalPopShare, r.MeanAgendaImpact)
+	}
+
+	// 2. Iterate with partners.
+	fmt.Println("\n== Iterative co-design (E10) ==")
+	iter, err := par.RunIteration(par.DefaultIterateConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range iter {
+		if r.Iteration%3 == 0 || r.Iteration == 1 {
+			fmt.Printf("iteration %2d: iterative fit %.3f vs one-shot %.3f\n",
+				r.Iteration, r.IterativeFit, r.OneShotFit)
+		}
+	}
+
+	// 3. Plan the fieldwork that sustains the partnership.
+	fmt.Println("\n== Fieldwork schedule under a 60-day budget (E7) ==")
+	e7, err := ethno.RunE7(ethno.DefaultE7Config())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range e7 {
+		fmt.Printf("%-11s insight=%6.1f  sites=%d  reflections=%d\n",
+			r.Strategy, r.Insight, r.SitesCovered, r.Reflections)
+	}
+
+	// 4. And if you tried to reach them with a survey instead (E8)...
+	fmt.Println("\n== Survey reach into the same community (E8) ==")
+	instrument := survey.Instrument{
+		Title: "Operator needs",
+		Questions: []survey.Question{
+			{ID: "q1", Text: "The network meets my community's needs", Kind: survey.Likert, Scale: 5},
+			{ID: "q2", Text: "Primary role", Kind: survey.MultipleChoice, Options: []string{"operator", "volunteer", "user"}},
+			{ID: "q3", Text: "What should researchers work on?", Kind: survey.FreeText},
+		},
+	}
+	if err := instrument.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	e8, err := survey.RunE8(survey.DefaultE8Config())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range e8 {
+		fmt.Printf("%-11s respondents=%3d  marginal-share=%.3f (population %.3f)  bias=%+.3f\n",
+			r.Design, r.Respondents, r.MarginalShare, r.MarginalPop, r.Bias)
+	}
+	fmt.Println("\nReading: cold surveys barely reach the operators PAR partners with;")
+	fmt.Println("snowball referrals recover some reach, at the cost of cluster bias.")
+}

@@ -1,0 +1,51 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun builds and runs every example main, failing on non-zero
+// exit or empty output. This keeps the documented entry points working as
+// the library evolves. Skipped with -short (it shells out to `go run`).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example execution in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			ctxCmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			ctxCmd.Env = os.Environ()
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = ctxCmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(120 * time.Second):
+				_ = ctxCmd.Process.Kill()
+				t.Fatalf("example %s timed out", name)
+			}
+			if runErr != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, runErr, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,466 @@
+// Package bgpsim implements an AS-level BGP simulator with Gao–Rexford
+// routing policies: customer/provider and peer business relationships,
+// valley-free route export, and standard best-path selection (local
+// preference by relationship, then AS-path length, then lowest neighbor ASN).
+//
+// The simulator exists to reproduce the interconnection case studies in the
+// paper's ethnography section: an incumbent circumventing mandatory-peering
+// regulation by shuffling prefixes across ASNs (Telmex in Mexico), and the
+// gravity of giant IXPs over Global-South traffic (DE-CIX vs Brazilian IXPs).
+// Both reduce to questions about which AS-level paths exist once peering
+// edges are added or withheld, which is exactly what a Gao–Rexford fixpoint
+// computes.
+//
+// Usage:
+//
+//	t := bgpsim.NewTopology()
+//	t.AddAS(1, bgpsim.ASInfo{Name: "Transit", Country: "US"})
+//	t.AddAS(64500, bgpsim.ASInfo{Name: "Eyeball", Country: "MX"})
+//	t.AddProviderCustomer(1, 64500)
+//	t.Originate(64500, "10.0.0.0/8")
+//	rt := t.Converge()
+//	path := rt.Path(1, "10.0.0.0/8") // [1 64500]
+package bgpsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ASN identifies an autonomous system.
+type ASN int
+
+// Relationship classifies how a route was learned, which determines both
+// local preference and export policy under Gao–Rexford.
+type Relationship int
+
+// Relationship values, ordered by local preference (higher is preferred).
+const (
+	FromProvider Relationship = iota // learned from a provider (pref 0)
+	FromPeer                         // learned from a settlement-free peer (pref 1)
+	FromCustomer                     // learned from a paying customer (pref 2)
+	Origin                           // originated locally (pref 3)
+)
+
+// String returns a human-readable relationship name.
+func (r Relationship) String() string {
+	switch r {
+	case FromProvider:
+		return "provider"
+	case FromPeer:
+		return "peer"
+	case FromCustomer:
+		return "customer"
+	case Origin:
+		return "origin"
+	default:
+		return fmt.Sprintf("Relationship(%d)", int(r))
+	}
+}
+
+// ASInfo carries the non-routing attributes of an AS that the experiments
+// aggregate over: display name, ISO country, and the owning organization
+// (several ASNs can belong to one org — the circumvention studies depend on
+// exactly this).
+type ASInfo struct {
+	Name    string
+	Country string
+	Org     string
+}
+
+// as is the internal per-AS state.
+type as struct {
+	info      ASInfo
+	providers map[ASN]bool
+	customers map[ASN]bool
+	peers     map[ASN]bool
+	origins   []string
+	// leaker marks an AS that re-exports everything to everyone (a route
+	// leak); see leak.go.
+	leaker bool
+}
+
+// Topology is a mutable AS-level interconnection graph. Add ASes and links,
+// originate prefixes, then call Converge to compute routing tables. The zero
+// value is not usable; call NewTopology.
+type Topology struct {
+	ases map[ASN]*as
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{ases: make(map[ASN]*as)}
+}
+
+// Errors returned by topology mutation.
+var (
+	ErrUnknownAS   = errors.New("bgpsim: unknown AS")
+	ErrDuplicateAS = errors.New("bgpsim: duplicate AS")
+	ErrSelfLink    = errors.New("bgpsim: link endpoints must differ")
+)
+
+// AddAS registers an AS. It fails if the ASN is already present.
+func (t *Topology) AddAS(n ASN, info ASInfo) error {
+	if _, ok := t.ases[n]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateAS, n)
+	}
+	t.ases[n] = &as{
+		info:      info,
+		providers: make(map[ASN]bool),
+		customers: make(map[ASN]bool),
+		peers:     make(map[ASN]bool),
+	}
+	return nil
+}
+
+// Info returns the attributes of an AS and whether it exists.
+func (t *Topology) Info(n ASN) (ASInfo, bool) {
+	a, ok := t.ases[n]
+	if !ok {
+		return ASInfo{}, false
+	}
+	return a.info, true
+}
+
+// ASNs returns all registered ASNs in ascending order.
+func (t *Topology) ASNs() []ASN {
+	out := make([]ASN, 0, len(t.ases))
+	for n := range t.ases {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (t *Topology) pair(a, b ASN) (*as, *as, error) {
+	if a == b {
+		return nil, nil, ErrSelfLink
+	}
+	x, ok := t.ases[a]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownAS, a)
+	}
+	y, ok := t.ases[b]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownAS, b)
+	}
+	return x, y, nil
+}
+
+// AddProviderCustomer records that provider sells transit to customer.
+func (t *Topology) AddProviderCustomer(provider, customer ASN) error {
+	p, c, err := t.pair(provider, customer)
+	if err != nil {
+		return err
+	}
+	p.customers[customer] = true
+	c.providers[provider] = true
+	return nil
+}
+
+// AddPeer records a settlement-free peering between a and b.
+func (t *Topology) AddPeer(a, b ASN) error {
+	x, y, err := t.pair(a, b)
+	if err != nil {
+		return err
+	}
+	x.peers[b] = true
+	y.peers[a] = true
+	return nil
+}
+
+// RemovePeer deletes a peering edge if present.
+func (t *Topology) RemovePeer(a, b ASN) {
+	if x, ok := t.ases[a]; ok {
+		delete(x.peers, b)
+	}
+	if y, ok := t.ases[b]; ok {
+		delete(y.peers, a)
+	}
+}
+
+// HasPeer reports whether a and b peer.
+func (t *Topology) HasPeer(a, b ASN) bool {
+	x, ok := t.ases[a]
+	return ok && x.peers[b]
+}
+
+// Originate announces prefix from AS n. Multiple ASes originating the same
+// prefix is allowed (anycast / MOAS) — each router picks its best route.
+func (t *Topology) Originate(n ASN, prefix string) error {
+	a, ok := t.ases[n]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownAS, n)
+	}
+	a.origins = append(a.origins, prefix)
+	return nil
+}
+
+// Origins returns the prefixes originated by n.
+func (t *Topology) Origins(n ASN) []string {
+	a, ok := t.ases[n]
+	if !ok {
+		return nil
+	}
+	return append([]string(nil), a.origins...)
+}
+
+// Neighbors returns all neighbors of n with the relationship of each from
+// n's perspective (what n would mark a route learned from that neighbor).
+func (t *Topology) Neighbors(n ASN) map[ASN]Relationship {
+	a, ok := t.ases[n]
+	if !ok {
+		return nil
+	}
+	out := make(map[ASN]Relationship, len(a.providers)+len(a.customers)+len(a.peers))
+	for p := range a.providers {
+		out[p] = FromProvider
+	}
+	for c := range a.customers {
+		out[c] = FromCustomer
+	}
+	for p := range a.peers {
+		out[p] = FromPeer
+	}
+	return out
+}
+
+// Route is a selected path to a prefix. Path[0] is the routing AS itself and
+// Path[len-1] the origin AS.
+type Route struct {
+	Prefix  string
+	Path    []ASN
+	Learned Relationship
+}
+
+// better reports whether candidate should replace incumbent under standard
+// BGP decision order: higher local pref (relationship), then shorter path,
+// then lower next-hop ASN for determinism.
+func better(cand, inc *Route) bool {
+	if inc == nil {
+		return true
+	}
+	if cand.Learned != inc.Learned {
+		return cand.Learned > inc.Learned
+	}
+	if len(cand.Path) != len(inc.Path) {
+		return len(cand.Path) < len(inc.Path)
+	}
+	// Deterministic tiebreak: lexicographically smaller path wins.
+	for i := range cand.Path {
+		if cand.Path[i] != inc.Path[i] {
+			return cand.Path[i] < inc.Path[i]
+		}
+	}
+	return false
+}
+
+// RoutingTables holds the converged best route of every AS for every prefix.
+type RoutingTables struct {
+	tables map[ASN]map[string]*Route
+}
+
+// Converge computes the Gao–Rexford routing fixpoint and returns the
+// resulting tables. Each round, every AS recomputes its best route per
+// prefix from its neighbors' current selections (synchronous Bellman–Ford
+// over policies), so stale paths cannot survive a neighbor changing its
+// mind. Valley-free export: a neighbor's route is a candidate only if that
+// neighbor originated it or learned it from a customer, unless we are the
+// neighbor's customer (customers receive everything).
+//
+// Gao–Rexford guarantees convergence when the provider–customer graph is
+// acyclic; a safety cap of 4·|AS|+16 rounds guards malformed topologies.
+func (t *Topology) Converge() *RoutingTables {
+	asns := t.ASNs()
+	// Collect the universe of prefixes.
+	prefixSet := make(map[string]bool)
+	for _, n := range asns {
+		for _, p := range t.ases[n].origins {
+			prefixSet[p] = true
+		}
+	}
+	prefixes := make([]string, 0, len(prefixSet))
+	for p := range prefixSet {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+
+	rt := &RoutingTables{tables: make(map[ASN]map[string]*Route, len(t.ases))}
+	originSet := make(map[ASN]map[string]bool, len(t.ases))
+	for _, n := range asns {
+		rt.tables[n] = make(map[string]*Route)
+		os := make(map[string]bool)
+		for _, p := range t.ases[n].origins {
+			os[p] = true
+		}
+		originSet[n] = os
+	}
+
+	maxRounds := 4*len(asns) + 16
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		next := make(map[ASN]map[string]*Route, len(asns))
+		for _, n := range asns {
+			neighborRel := t.Neighbors(n)
+			nbrs := make([]ASN, 0, len(neighborRel))
+			for nb := range neighborRel {
+				nbrs = append(nbrs, nb)
+			}
+			sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+
+			tbl := make(map[string]*Route, len(prefixes))
+			for _, p := range prefixes {
+				var best *Route
+				if originSet[n][p] {
+					best = &Route{Prefix: p, Path: []ASN{n}, Learned: Origin}
+				}
+				for _, nb := range nbrs {
+					nbRoute := rt.tables[nb][p]
+					if nbRoute == nil {
+						continue
+					}
+					// Export policy from nb's side: we receive everything if
+					// we are nb's customer; otherwise only origin/customer
+					// routes (valley-free). A leaker ignores the policy.
+					weAreCustomer := t.ases[nb].customers[n]
+					if !weAreCustomer && !t.ases[nb].leaker &&
+						nbRoute.Learned != Origin && nbRoute.Learned != FromCustomer {
+						continue
+					}
+					// Loop prevention: reject paths already containing us.
+					loop := false
+					for _, hop := range nbRoute.Path {
+						if hop == n {
+							loop = true
+							break
+						}
+					}
+					if loop {
+						continue
+					}
+					cand := &Route{
+						Prefix:  p,
+						Path:    append([]ASN{n}, nbRoute.Path...),
+						Learned: neighborRel[nb],
+					}
+					if better(cand, best) {
+						best = cand
+					}
+				}
+				if best != nil {
+					tbl[p] = best
+					if !routesEqual(best, rt.tables[n][p]) {
+						changed = true
+					}
+				} else if rt.tables[n][p] != nil {
+					changed = true
+				}
+			}
+			next[n] = tbl
+		}
+		rt.tables = next
+		if !changed {
+			break
+		}
+	}
+	return rt
+}
+
+func routesEqual(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Learned != b.Learned || len(a.Path) != len(b.Path) {
+		return false
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Route returns the best route at AS n for prefix, or nil if none.
+func (rt *RoutingTables) Route(n ASN, prefix string) *Route {
+	return rt.tables[n][prefix]
+}
+
+// Path returns the AS path from n to prefix (n first, origin last), or nil
+// when unreachable.
+func (rt *RoutingTables) Path(n ASN, prefix string) []ASN {
+	r := rt.tables[n][prefix]
+	if r == nil {
+		return nil
+	}
+	return append([]ASN(nil), r.Path...)
+}
+
+// Reachable reports whether n has any route to prefix.
+func (rt *RoutingTables) Reachable(n ASN, prefix string) bool {
+	return rt.tables[n][prefix] != nil
+}
+
+// Prefixes returns the sorted prefixes in n's table.
+func (rt *RoutingTables) Prefixes(n ASN) []string {
+	tbl := rt.tables[n]
+	out := make([]string, 0, len(tbl))
+	for p := range tbl {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValleyFree reports whether path obeys the valley-free property in t:
+// a (possibly empty) uphill customer→provider segment, at most one peer
+// edge, then a (possibly empty) downhill provider→customer segment.
+func (t *Topology) ValleyFree(path []ASN) bool {
+	if len(path) < 2 {
+		return true
+	}
+	// Phases: 0 = uphill, 1 = after the single peer edge or at apex,
+	// edges from path[i] to path[i+1] in the *forward* (traffic) direction;
+	// for route paths the traffic flows path[0] → origin.
+	phase := 0
+	for i := 0; i+1 < len(path); i++ {
+		from, to := path[i], path[i+1]
+		a, ok := t.ases[from]
+		if !ok {
+			return false
+		}
+		switch {
+		case a.providers[to]: // going up
+			if phase != 0 {
+				return false
+			}
+		case a.peers[to]: // lateral: only once, ends uphill
+			if phase != 0 {
+				return false
+			}
+			phase = 1
+		case a.customers[to]: // going down
+			phase = 2
+		default:
+			return false // not adjacent
+		}
+	}
+	return true
+}
+
+// WithdrawOrigin removes one origination of prefix from AS n (no-op when
+// absent). Used by experiments that try attackers in turn.
+func (t *Topology) WithdrawOrigin(n ASN, prefix string) {
+	a, ok := t.ases[n]
+	if !ok {
+		return
+	}
+	out := a.origins[:0]
+	for _, p := range a.origins {
+		if p != prefix {
+			out = append(out, p)
+		}
+	}
+	a.origins = out
+}

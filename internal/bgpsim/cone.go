@@ -1,0 +1,64 @@
+package bgpsim
+
+import (
+	"sort"
+)
+
+// CustomerCone returns the set of ASes reachable from n by walking only
+// provider→customer edges, including n itself. Cone size is the standard
+// measure of an AS's market dominance — the "dominant players" whose
+// priorities the paper says shape research agendas.
+func (t *Topology) CustomerCone(n ASN) []ASN {
+	if _, ok := t.ases[n]; !ok {
+		return nil
+	}
+	seen := map[ASN]bool{n: true}
+	queue := []ASN{n}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for c := range t.ases[u].customers {
+			if !seen[c] {
+				seen[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	out := make([]ASN, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ConeSizes returns every AS's customer-cone size, keyed by ASN.
+func (t *Topology) ConeSizes() map[ASN]int {
+	out := make(map[ASN]int, len(t.ases))
+	for n := range t.ases {
+		out[n] = len(t.CustomerCone(n))
+	}
+	return out
+}
+
+// TransitDominance returns the share of all stub ASes (no customers) that
+// lie inside n's customer cone — how much of the edge of the network
+// depends on n for transit.
+func (t *Topology) TransitDominance(n ASN) float64 {
+	stubs := 0
+	for _, a := range t.ases {
+		if len(a.customers) == 0 {
+			stubs++
+		}
+	}
+	if stubs == 0 {
+		return 0
+	}
+	inCone := 0
+	for _, m := range t.CustomerCone(n) {
+		if len(t.ases[m].customers) == 0 {
+			inCone++
+		}
+	}
+	return float64(inCone) / float64(stubs)
+}

@@ -1,0 +1,102 @@
+package bgpsim
+
+import (
+	"math"
+	"testing"
+)
+
+// chain builds 1 → 2 → 3 (providers above customers).
+func chain(t *testing.T) *Topology {
+	t.Helper()
+	topo := NewTopology()
+	for _, n := range []ASN{1, 2, 3} {
+		if err := topo.AddAS(n, ASInfo{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := topo.AddProviderCustomer(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddProviderCustomer(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestCustomerConeChain(t *testing.T) {
+	topo := chain(t)
+	cone := topo.CustomerCone(1)
+	if len(cone) != 3 || cone[0] != 1 || cone[2] != 3 {
+		t.Errorf("cone(1) = %v", cone)
+	}
+	if got := topo.CustomerCone(3); len(got) != 1 || got[0] != 3 {
+		t.Errorf("stub cone = %v", got)
+	}
+	if topo.CustomerCone(99) != nil {
+		t.Error("unknown AS should have nil cone")
+	}
+}
+
+func TestConeIgnoresPeersAndProviders(t *testing.T) {
+	topo := chain(t)
+	_ = topo.AddAS(10, ASInfo{})
+	_ = topo.AddPeer(1, 10)
+	cone := topo.CustomerCone(1)
+	for _, n := range cone {
+		if n == 10 {
+			t.Error("peer leaked into customer cone")
+		}
+	}
+	// The customer's cone must not include its provider.
+	for _, n := range topo.CustomerCone(2) {
+		if n == 1 {
+			t.Error("provider leaked into customer cone")
+		}
+	}
+}
+
+func TestConeSizes(t *testing.T) {
+	topo := chain(t)
+	sizes := topo.ConeSizes()
+	if sizes[1] != 3 || sizes[2] != 2 || sizes[3] != 1 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestConeHandlesMultihoming(t *testing.T) {
+	// 3 is a customer of both 1 and 2; cone counts it once.
+	topo := NewTopology()
+	for _, n := range []ASN{1, 2, 3} {
+		_ = topo.AddAS(n, ASInfo{})
+	}
+	_ = topo.AddProviderCustomer(1, 3)
+	_ = topo.AddProviderCustomer(2, 3)
+	_ = topo.AddProviderCustomer(1, 2)
+	cone := topo.CustomerCone(1)
+	if len(cone) != 3 {
+		t.Errorf("cone = %v, want all three once", cone)
+	}
+}
+
+func TestTransitDominance(t *testing.T) {
+	// Tier1 (1) over two mids (2, 3); stubs 4,5 under 2 and 6 under 3.
+	topo := NewTopology()
+	for _, n := range []ASN{1, 2, 3, 4, 5, 6} {
+		_ = topo.AddAS(n, ASInfo{})
+	}
+	_ = topo.AddProviderCustomer(1, 2)
+	_ = topo.AddProviderCustomer(1, 3)
+	_ = topo.AddProviderCustomer(2, 4)
+	_ = topo.AddProviderCustomer(2, 5)
+	_ = topo.AddProviderCustomer(3, 6)
+	if d := topo.TransitDominance(1); math.Abs(d-1) > 1e-9 {
+		t.Errorf("tier1 dominance = %g, want 1", d)
+	}
+	if d := topo.TransitDominance(2); math.Abs(d-2.0/3) > 1e-9 {
+		t.Errorf("mid dominance = %g, want 2/3", d)
+	}
+	if d := topo.TransitDominance(6); math.Abs(d-1.0/3) > 1e-9 {
+		// A stub's cone is itself; it is 1 of 3 stubs.
+		t.Errorf("stub dominance = %g, want 1/3", d)
+	}
+}

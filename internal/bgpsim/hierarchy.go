@@ -1,0 +1,207 @@
+package bgpsim
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Hierarchy describes a generated three-tier topology.
+type Hierarchy struct {
+	Topo  *Topology
+	Tier1 []ASN
+	Mids  []ASN
+	Stubs []ASN
+}
+
+// BuildHierarchy generates a random three-tier Internet: a tier-1 clique of
+// peers, a middle tier with one or two tier-1 providers and some lateral
+// peering, and stubs with one or two mid providers. Every stub originates a
+// /16-style prefix named "pfx-<asn>".
+func BuildHierarchy(r *rng.Rand, nMid, nStub int) (*Hierarchy, error) {
+	h := &Hierarchy{Topo: NewTopology()}
+	h.Tier1 = []ASN{1, 2, 3}
+	for _, n := range h.Tier1 {
+		if err := h.Topo.AddAS(n, ASInfo{Name: fmt.Sprintf("Tier1-%d", n)}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < len(h.Tier1); i++ {
+		for j := i + 1; j < len(h.Tier1); j++ {
+			if err := h.Topo.AddPeer(h.Tier1[i], h.Tier1[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < nMid; i++ {
+		n := ASN(100 + i)
+		if err := h.Topo.AddAS(n, ASInfo{Name: fmt.Sprintf("Mid-%d", n)}); err != nil {
+			return nil, err
+		}
+		h.Mids = append(h.Mids, n)
+		if err := h.Topo.AddProviderCustomer(h.Tier1[r.Intn(len(h.Tier1))], n); err != nil {
+			return nil, err
+		}
+		if r.Bool(0.5) {
+			// Multihoming; a duplicate pick is harmless (idempotent sets).
+			_ = h.Topo.AddProviderCustomer(h.Tier1[r.Intn(len(h.Tier1))], n)
+		}
+	}
+	for i := 0; i+1 < len(h.Mids); i += 2 {
+		if r.Bool(0.6) {
+			if err := h.Topo.AddPeer(h.Mids[i], h.Mids[i+1]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < nStub; i++ {
+		n := ASN(1000 + i)
+		if err := h.Topo.AddAS(n, ASInfo{Name: fmt.Sprintf("Stub-%d", n)}); err != nil {
+			return nil, err
+		}
+		h.Stubs = append(h.Stubs, n)
+		if err := h.Topo.AddProviderCustomer(h.Mids[r.Intn(len(h.Mids))], n); err != nil {
+			return nil, err
+		}
+		if r.Bool(0.3) {
+			_ = h.Topo.AddProviderCustomer(h.Mids[r.Intn(len(h.Mids))], n)
+		}
+		if err := h.Topo.Originate(n, fmt.Sprintf("pfx-%d", n)); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// LeakRow is one measured point of the E14 leak experiment.
+type LeakRow struct {
+	LeakerKind    string // "stub" or "mid"
+	LeakerASN     ASN
+	Providers     int
+	Affected      int
+	AffectedShare float64 // affected / reachable ASes
+}
+
+// RunLeakSweep builds a hierarchy, then measures the blast radius of a leak
+// by a representative stub and by each mid-tier AS, against a randomly
+// chosen victim prefix. Rows are sorted by the order tried (stub first,
+// then mids ascending).
+func RunLeakSweep(nMid, nStub int, seed uint64) ([]LeakRow, error) {
+	r := rng.New(seed)
+	h, err := BuildHierarchy(r.Split(), nMid, nStub)
+	if err != nil {
+		return nil, err
+	}
+	victim := h.Stubs[r.Intn(len(h.Stubs))]
+	prefix := fmt.Sprintf("pfx-%d", victim)
+
+	measure := func(kind string, leaker ASN) LeakRow {
+		h.Topo.MarkLeaker(leaker)
+		rt := h.Topo.Converge()
+		affected, reachable := BlastRadius(rt, leaker, prefix)
+		h.Topo.ClearLeaker(leaker)
+		row := LeakRow{
+			LeakerKind: kind,
+			LeakerASN:  leaker,
+			Providers:  len(providersOf(h.Topo, leaker)),
+			Affected:   len(affected),
+		}
+		if reachable > 0 {
+			row.AffectedShare = float64(row.Affected) / float64(reachable)
+		}
+		return row
+	}
+
+	var rows []LeakRow
+	// One representative stub leaker that is not the victim.
+	for _, s := range h.Stubs {
+		if s != victim {
+			rows = append(rows, measure("stub", s))
+			break
+		}
+	}
+	for _, m := range h.Mids {
+		rows = append(rows, measure("mid", m))
+	}
+	return rows, nil
+}
+
+func providersOf(t *Topology, n ASN) []ASN {
+	var out []ASN
+	for nb, rel := range t.Neighbors(n) {
+		if rel == FromProvider {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// HijackRow is one measured point of the E16 prefix-hijack experiment.
+type HijackRow struct {
+	AttackerKind  string // "stub" or "mid"
+	AttackerASN   ASN
+	Captured      int     // ASes whose best route leads to the attacker
+	CapturedShare float64 // captured / ASes with any route (excluding both principals)
+}
+
+// RunHijackSweep measures exact-prefix (MOAS) hijacks: the attacker
+// originates the victim's prefix, and every AS picks whichever origin its
+// policies prefer. Like leaks, the blast radius is economic: an attacker
+// close to many customers captures more of the network. One representative
+// stub and every mid-tier AS attack in turn.
+func RunHijackSweep(nMid, nStub int, seed uint64) ([]HijackRow, error) {
+	r := rng.New(seed)
+	h, err := BuildHierarchy(r.Split(), nMid, nStub)
+	if err != nil {
+		return nil, err
+	}
+	victim := h.Stubs[r.Intn(len(h.Stubs))]
+	prefix := fmt.Sprintf("pfx-%d", victim)
+
+	measure := func(kind string, attacker ASN) (HijackRow, error) {
+		if err := h.Topo.Originate(attacker, prefix); err != nil {
+			return HijackRow{}, err
+		}
+		rt := h.Topo.Converge()
+		row := HijackRow{AttackerKind: kind, AttackerASN: attacker}
+		total := 0
+		for _, n := range h.Topo.ASNs() {
+			if n == victim || n == attacker {
+				continue
+			}
+			path := rt.Path(n, prefix)
+			if path == nil {
+				continue
+			}
+			total++
+			if path[len(path)-1] == attacker {
+				row.Captured++
+			}
+		}
+		if total > 0 {
+			row.CapturedShare = float64(row.Captured) / float64(total)
+		}
+		h.Topo.WithdrawOrigin(attacker, prefix)
+		return row, nil
+	}
+
+	var rows []HijackRow
+	for _, s := range h.Stubs {
+		if s != victim {
+			row, err := measure("stub", s)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			break
+		}
+	}
+	for _, m := range h.Mids {
+		row, err := measure("mid", m)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,69 @@
+package bgpsim
+
+// Route-leak support. The paper's §6.2.2 points at BGP misconfiguration
+// (Mahajan et al.) as the canonical example of "social and economic
+// dynamics" encoded in a technically simple protocol: a single customer
+// re-exporting its provider's routes — a one-line configuration mistake —
+// redirects traffic economically, because everyone *prefers* customer
+// routes. MarkLeaker turns an AS into such a leaker; ConvergeWithLeaks
+// computes the resulting routing, and BlastRadius measures how many ASes
+// were pulled through the leaker.
+
+// MarkLeaker flags n as violating export policy: it re-exports every route
+// (including provider- and peer-learned ones) to all neighbors. Returns
+// false if the AS is unknown.
+func (t *Topology) MarkLeaker(n ASN) bool {
+	a, ok := t.ases[n]
+	if !ok {
+		return false
+	}
+	a.leaker = true
+	return true
+}
+
+// ClearLeaker removes the flag.
+func (t *Topology) ClearLeaker(n ASN) {
+	if a, ok := t.ases[n]; ok {
+		a.leaker = false
+	}
+}
+
+// IsLeaker reports whether n is flagged.
+func (t *Topology) IsLeaker(n ASN) bool {
+	a, ok := t.ases[n]
+	return ok && a.leaker
+}
+
+// BlastRadius returns the ASes (other than the leaker) whose converged best
+// path to prefix traverses leaker, and the total AS count with a route to
+// the prefix — the standard measure of a leak's reach.
+func BlastRadius(rt *RoutingTables, leaker ASN, prefix string) (affected []ASN, reachable int) {
+	for n, tbl := range rt.tables {
+		r := tbl[prefix]
+		if r == nil {
+			continue
+		}
+		reachable++
+		if n == leaker {
+			continue
+		}
+		for _, hop := range r.Path[1:] { // skip self
+			if hop == leaker {
+				affected = append(affected, n)
+				break
+			}
+		}
+	}
+	sortASNs(affected)
+	return affected, reachable
+}
+
+func sortASNs(s []ASN) {
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			if s[j] < s[i] {
+				s[i], s[j] = s[j], s[i]
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package biblio
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// CitationConfig parameterizes citation generation over an existing corpus.
+type CitationConfig struct {
+	// MeanRefs is the average reference-list length.
+	MeanRefs int
+	// PrefAttachment is the weight of existing citation counts when picking
+	// references (rich-get-richer); 0 = uniform over earlier papers.
+	PrefAttachment float64
+	// VenueHomophily is the probability a reference stays within the citing
+	// paper's venue (the "researchers read their own venue" effect the
+	// paper's §6.4 notes).
+	VenueHomophily float64
+	Seed           uint64
+}
+
+// DefaultCitationConfig returns the parameters used by tests.
+func DefaultCitationConfig() CitationConfig {
+	return CitationConfig{MeanRefs: 12, PrefAttachment: 0.8, VenueHomophily: 0.7, Seed: 1}
+}
+
+// Citations maps paper ID to the IDs it cites.
+type Citations map[int][]int
+
+// GenerateCitations draws reference lists: each paper cites earlier papers
+// (by year, ties by ID), mixing preferential attachment on in-degree with
+// venue homophily. Papers with no earlier candidates cite nothing.
+func (c *Corpus) GenerateCitations(cfg CitationConfig, r *rng.Rand) Citations {
+	// Order papers by (year, ID) so "earlier" is well-defined.
+	ids := c.PaperIDs()
+	sort.SliceStable(ids, func(a, b int) bool {
+		pa, _ := c.Paper(ids[a])
+		pb, _ := c.Paper(ids[b])
+		if pa.Year != pb.Year {
+			return pa.Year < pb.Year
+		}
+		return pa.ID < pb.ID
+	})
+	cites := make(Citations, len(ids))
+	inDegree := make(map[int]float64, len(ids))
+	// Per-venue earlier-paper pools.
+	var earlier []int
+	earlierByVenue := make(map[string][]int)
+
+	for _, id := range ids {
+		p, _ := c.Paper(id)
+		nRefs := 0
+		if len(earlier) > 0 {
+			nRefs = r.Poisson(float64(cfg.MeanRefs))
+			if nRefs > len(earlier) {
+				nRefs = len(earlier)
+			}
+		}
+		chosen := make(map[int]bool, nRefs)
+		for len(chosen) < nRefs {
+			pool := earlier
+			if cfg.VenueHomophily > 0 && r.Bool(cfg.VenueHomophily) {
+				if vp := earlierByVenue[p.Venue]; len(vp) > 0 {
+					pool = vp
+				}
+			}
+			var ref int
+			if cfg.PrefAttachment > 0 && r.Bool(cfg.PrefAttachment) {
+				weights := make([]float64, len(pool))
+				for i, cand := range pool {
+					weights[i] = 1 + inDegree[cand]
+				}
+				ref = pool[r.Categorical(weights)]
+			} else {
+				ref = pool[r.Intn(len(pool))]
+			}
+			if !chosen[ref] {
+				chosen[ref] = true
+			} else if len(chosen)+1 >= len(pool) {
+				break // tiny pool exhausted
+			}
+		}
+		refs := make([]int, 0, len(chosen))
+		for ref := range chosen {
+			refs = append(refs, ref)
+		}
+		sort.Ints(refs)
+		cites[id] = refs
+		for _, ref := range refs {
+			inDegree[ref]++
+		}
+		earlier = append(earlier, id)
+		earlierByVenue[p.Venue] = append(earlierByVenue[p.Venue], id)
+	}
+	return cites
+}
+
+// CitationGraph builds the directed citation graph (edge cited→citing is
+// NOT used; edges run citing→cited) over dense indices in PaperIDs order.
+func (c *Corpus) CitationGraph(cites Citations) (*graph.Graph, []int) {
+	ids := c.PaperIDs()
+	idx := make(map[int]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	g := graph.New(len(ids), true)
+	for citing, refs := range cites {
+		for _, cited := range refs {
+			_ = g.AddEdge(idx[citing], idx[cited], 1)
+		}
+	}
+	return g, ids
+}
+
+// CitationStats summarizes influence concentration in a citation set.
+type CitationStats struct {
+	TotalCitations int
+	GiniInDegree   float64
+	Top10Share     float64
+	// WithinVenueShare is the fraction of citations whose endpoints share a
+	// venue.
+	WithinVenueShare float64
+}
+
+// AnalyzeCitations computes concentration and homophily statistics.
+func (c *Corpus) AnalyzeCitations(cites Citations) CitationStats {
+	inDeg := make(map[int]float64)
+	total := 0
+	within := 0
+	for citing, refs := range cites {
+		pc, _ := c.Paper(citing)
+		for _, cited := range refs {
+			inDeg[cited]++
+			total++
+			pd, _ := c.Paper(cited)
+			if pc.Venue == pd.Venue {
+				within++
+			}
+		}
+	}
+	vals := make([]float64, 0, c.NumPapers())
+	for _, id := range c.PaperIDs() {
+		vals = append(vals, inDeg[id])
+	}
+	st := CitationStats{
+		TotalCitations: total,
+		GiniInDegree:   stats.Gini(vals),
+		Top10Share:     stats.TopKShare(vals, 10),
+	}
+	if total > 0 {
+		st.WithinVenueShare = float64(within) / float64(total)
+	}
+	return st
+}

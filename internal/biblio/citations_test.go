@@ -1,0 +1,107 @@
+package biblio
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func citationCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	cfg := DefaultGenConfig()
+	cfg.Papers = 800
+	cfg.Authors = 400
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateCitationsOnlyEarlier(t *testing.T) {
+	c := citationCorpus(t)
+	cites := c.GenerateCitations(DefaultCitationConfig(), rng.New(3))
+	for citing, refs := range cites {
+		pc, _ := c.Paper(citing)
+		for _, cited := range refs {
+			pd, _ := c.Paper(cited)
+			if pd.Year > pc.Year || (pd.Year == pc.Year && pd.ID >= pc.ID) {
+				t.Fatalf("paper %d (y%d) cites later paper %d (y%d)", citing, pc.Year, cited, pd.Year)
+			}
+		}
+		// No duplicate refs.
+		seen := make(map[int]bool)
+		for _, cited := range refs {
+			if seen[cited] {
+				t.Fatalf("duplicate reference %d in %d", cited, citing)
+			}
+			seen[cited] = true
+		}
+	}
+}
+
+func TestCitationConcentration(t *testing.T) {
+	c := citationCorpus(t)
+	pref := c.AnalyzeCitations(c.GenerateCitations(DefaultCitationConfig(), rng.New(5)))
+	uniformCfg := DefaultCitationConfig()
+	uniformCfg.PrefAttachment = 0
+	unif := c.AnalyzeCitations(c.GenerateCitations(uniformCfg, rng.New(5)))
+	if !(pref.GiniInDegree > unif.GiniInDegree+0.05) {
+		t.Errorf("preferential Gini %g should clearly exceed uniform %g",
+			pref.GiniInDegree, unif.GiniInDegree)
+	}
+	if pref.TotalCitations == 0 {
+		t.Fatal("no citations generated")
+	}
+}
+
+func TestCitationVenueHomophily(t *testing.T) {
+	c := citationCorpus(t)
+	homo := DefaultCitationConfig()
+	homo.VenueHomophily = 0.9
+	hetero := DefaultCitationConfig()
+	hetero.VenueHomophily = 0
+	hs := c.AnalyzeCitations(c.GenerateCitations(homo, rng.New(7)))
+	ns := c.AnalyzeCitations(c.GenerateCitations(hetero, rng.New(7)))
+	if !(hs.WithinVenueShare > ns.WithinVenueShare+0.2) {
+		t.Errorf("homophily within-venue share %g should clearly exceed %g",
+			hs.WithinVenueShare, ns.WithinVenueShare)
+	}
+}
+
+func TestCitationGraphStructure(t *testing.T) {
+	c := citationCorpus(t)
+	cites := c.GenerateCitations(DefaultCitationConfig(), rng.New(9))
+	g, ids := c.CitationGraph(cites)
+	if g.N() != c.NumPapers() || len(ids) != c.NumPapers() {
+		t.Fatalf("graph size = %d", g.N())
+	}
+	if !g.Directed() {
+		t.Fatal("citation graph should be directed")
+	}
+	total := 0
+	for _, refs := range cites {
+		total += len(refs)
+	}
+	if g.M() != total {
+		t.Errorf("edges = %d, want %d", g.M(), total)
+	}
+	// PageRank mass flows to cited (early, popular) papers.
+	pr := g.PageRank(0.85, 100, 1e-9)
+	sum := 0.0
+	for _, v := range pr {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("PageRank sum = %g", sum)
+	}
+}
+
+func TestCitationsDeterministic(t *testing.T) {
+	c := citationCorpus(t)
+	a := c.AnalyzeCitations(c.GenerateCitations(DefaultCitationConfig(), rng.New(11)))
+	b := c.AnalyzeCitations(c.GenerateCitations(DefaultCitationConfig(), rng.New(11)))
+	if a != b {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,93 @@
+package biblio
+
+import (
+	"testing"
+)
+
+func TestRunCFPValidation(t *testing.T) {
+	if _, err := RunCFP(CFPConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestCFPBiasPlusConformityLocksIn(t *testing.T) {
+	biased := DefaultCFPConfig()
+	rows, err := RunCFP(biased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != biased.Years {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	lockedIn := FinalQualShare(rows, 5)
+
+	blind := DefaultCFPConfig()
+	blind.QualWeight = 1
+	blindRows, err := RunCFP(blind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair := FinalQualShare(blindRows, 5)
+
+	// The discounted venue ends far below the method-blind one — and below
+	// what researcher affinity alone (mean 0.5) would produce.
+	if !(lockedIn < fair/2) {
+		t.Errorf("locked-in share %g should be far below method-blind %g", lockedIn, fair)
+	}
+	if !(lockedIn < 0.2) {
+		t.Errorf("locked-in share %g should collapse under bias+conformity", lockedIn)
+	}
+	if fair < 0.35 {
+		t.Errorf("method-blind share %g should reflect affinity (~0.5)", fair)
+	}
+}
+
+func TestCFPInterventionRecovers(t *testing.T) {
+	cfg := DefaultCFPConfig()
+	cfg.Years = 40
+	cfg.InterventionYear = 20
+	rows, err := RunCFP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := FinalQualShare(rows[:20], 5)
+	after := FinalQualShare(rows, 5)
+	if !(after > 2*before) {
+		t.Errorf("CFP change should recover the share: before %g, after %g", before, after)
+	}
+	// Recovery is not instantaneous: the year right after the intervention
+	// is still depressed relative to the settled level (conformity lags).
+	atSwitch := rows[20].AcceptedQualShare
+	if !(atSwitch < after) {
+		t.Errorf("share at intervention %g should lag settled level %g (hysteresis)", atSwitch, after)
+	}
+	for _, row := range rows[:20] {
+		if row.QualWeightInEffect != cfg.QualWeight {
+			t.Fatal("weight applied too early")
+		}
+	}
+	for _, row := range rows[20:] {
+		if row.QualWeightInEffect != 1 {
+			t.Fatal("intervention not applied")
+		}
+	}
+}
+
+func TestCFPDeterministic(t *testing.T) {
+	a, _ := RunCFP(DefaultCFPConfig())
+	b, _ := RunCFP(DefaultCFPConfig())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func BenchmarkRunCFP(b *testing.B) {
+	cfg := DefaultCFPConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCFP(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package biblio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// CorpusJSON is the on-disk interchange format, so cmd/biblioscan can
+// analyze a real corpus instead of a generated one. Method is carried by
+// name ("measurement", "systems", "theory", "qualitative", "mixed"); an
+// empty method means "classify from the abstract".
+type CorpusJSON struct {
+	Authors []Author    `json:"authors"`
+	Papers  []PaperJSON `json:"papers"`
+}
+
+// PaperJSON mirrors Paper with a string method.
+type PaperJSON struct {
+	ID       int    `json:"id"`
+	Title    string `json:"title,omitempty"`
+	Year     int    `json:"year"`
+	Venue    string `json:"venue"`
+	Authors  []int  `json:"authors"`
+	Abstract string `json:"abstract,omitempty"`
+	Method   string `json:"method,omitempty"`
+}
+
+// parseMethod maps a method name to its value.
+func parseMethod(s string) (Method, error) {
+	for _, m := range Methods() {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("biblio: unknown method %q", s)
+}
+
+// Export serializes the corpus.
+func (c *Corpus) Export() CorpusJSON {
+	out := CorpusJSON{}
+	for _, id := range c.AuthorIDs() {
+		a, _ := c.Author(id)
+		out.Authors = append(out.Authors, a)
+	}
+	for _, id := range c.PaperIDs() {
+		p, _ := c.Paper(id)
+		out.Papers = append(out.Papers, PaperJSON{
+			ID: p.ID, Title: p.Title, Year: p.Year, Venue: p.Venue,
+			Authors: p.Authors, Abstract: p.Abstract, Method: p.Method.String(),
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the corpus as indented JSON.
+func (c *Corpus) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Export())
+}
+
+// ImportCorpus reconstructs a corpus from its interchange form. Papers with
+// an empty method are classified from their abstracts.
+func ImportCorpus(cj CorpusJSON) (*Corpus, error) {
+	c := NewCorpus()
+	for _, a := range cj.Authors {
+		if err := c.AddAuthor(a); err != nil {
+			return nil, err
+		}
+	}
+	for _, pj := range cj.Papers {
+		var m Method
+		if pj.Method == "" {
+			m = ClassifyAbstract(pj.Abstract)
+		} else {
+			var err error
+			m, err = parseMethod(pj.Method)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := c.AddPaper(Paper{
+			ID: pj.ID, Title: pj.Title, Year: pj.Year, Venue: pj.Venue,
+			Authors: pj.Authors, Abstract: pj.Abstract, Method: m,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// ReadCorpus parses a corpus from JSON.
+func ReadCorpus(r io.Reader) (*Corpus, error) {
+	var cj CorpusJSON
+	if err := json.NewDecoder(r).Decode(&cj); err != nil {
+		return nil, fmt.Errorf("biblio: decode corpus: %w", err)
+	}
+	return ImportCorpus(cj)
+}

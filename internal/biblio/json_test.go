@@ -1,0 +1,63 @@
+package biblio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCorpusJSONRoundTrip(t *testing.T) {
+	c := smallCorpus(t)
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumAuthors() != c.NumAuthors() || c2.NumPapers() != c.NumPapers() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			c2.NumAuthors(), c2.NumPapers(), c.NumAuthors(), c.NumPapers())
+	}
+	for _, id := range c.PaperIDs() {
+		a, _ := c.Paper(id)
+		b, ok := c2.Paper(id)
+		if !ok || a.Method != b.Method || a.Venue != b.Venue || len(a.Authors) != len(b.Authors) {
+			t.Fatalf("paper %d differs: %+v vs %+v", id, a, b)
+		}
+	}
+}
+
+func TestImportClassifiesWhenMethodMissing(t *testing.T) {
+	cj := CorpusJSON{
+		Authors: []Author{{ID: 0}},
+		Papers: []PaperJSON{{
+			ID: 0, Year: 2024, Venue: "V", Authors: []int{0},
+			Abstract: "we conducted interviews and ethnography with community stakeholders using participatory fieldwork",
+		}},
+	}
+	c, err := ImportCorpus(cj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.Paper(0)
+	if p.Method != Qualitative {
+		t.Errorf("classified method = %v, want qualitative", p.Method)
+	}
+}
+
+func TestImportRejectsBadMethodAndRefs(t *testing.T) {
+	bad := []CorpusJSON{
+		{Authors: []Author{{ID: 0}}, Papers: []PaperJSON{{ID: 0, Authors: []int{0}, Method: "nope"}}},
+		{Papers: []PaperJSON{{ID: 0, Authors: []int{7}, Method: "theory"}}},
+	}
+	for i, cj := range bad {
+		if _, err := ImportCorpus(cj); err == nil {
+			t.Errorf("bad corpus %d accepted", i)
+		}
+	}
+	if _, err := ReadCorpus(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package biblio
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// TrendPoint is one year's method share.
+type TrendPoint struct {
+	Year  int
+	Share float64
+	N     int // papers that year
+}
+
+// MethodTrend returns the per-year share of papers using method m
+// (optionally restricted to one venue; "" = whole corpus), sorted by year.
+// Years with no papers are omitted.
+func (c *Corpus) MethodTrend(m Method, venue string) []TrendPoint {
+	count := make(map[int]int)
+	match := make(map[int]int)
+	for _, p := range c.papers {
+		if venue != "" && p.Venue != venue {
+			continue
+		}
+		count[p.Year]++
+		if p.Method == m {
+			match[p.Year]++
+		}
+	}
+	years := make([]int, 0, len(count))
+	for y := range count {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	out := make([]TrendPoint, 0, len(years))
+	for _, y := range years {
+		out = append(out, TrendPoint{
+			Year:  y,
+			Share: float64(match[y]) / float64(count[y]),
+			N:     count[y],
+		})
+	}
+	return out
+}
+
+// TrendSlope fits share = a + b·year by least squares over the trend and
+// returns the slope b (share change per year) and the fit's r². NaNs when
+// fewer than two points.
+func TrendSlope(trend []TrendPoint) (slope, r2 float64) {
+	xs := make([]float64, len(trend))
+	ys := make([]float64, len(trend))
+	for i, p := range trend {
+		xs[i] = float64(p.Year)
+		ys[i] = p.Share
+	}
+	_, slope, r2 = stats.LinearFit(xs, ys)
+	return slope, r2
+}
+
+// QualitativeShareByYear is a convenience: the combined qualitative + mixed
+// share per year across the corpus.
+func (c *Corpus) QualitativeShareByYear() []TrendPoint {
+	qual := c.MethodTrend(Qualitative, "")
+	mixed := c.MethodTrend(Mixed, "")
+	mixedByYear := make(map[int]float64, len(mixed))
+	for _, p := range mixed {
+		mixedByYear[p.Year] = p.Share
+	}
+	out := make([]TrendPoint, len(qual))
+	for i, p := range qual {
+		out[i] = TrendPoint{Year: p.Year, Share: p.Share + mixedByYear[p.Year], N: p.N}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package biblio
+
+import (
+	"math"
+	"testing"
+)
+
+// trendCorpus builds a corpus where qualitative share rises year over year.
+func trendCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c := NewCorpus()
+	_ = c.AddAuthor(Author{ID: 0})
+	_ = c.AddAuthor(Author{ID: 1})
+	id := 0
+	for year := 2015; year < 2020; year++ {
+		qual := year - 2015 // 0..4 qualitative papers
+		for i := 0; i < 5; i++ {
+			m := Measurement
+			if i < qual {
+				m = Qualitative
+			}
+			if err := c.AddPaper(Paper{
+				ID: id, Year: year, Venue: "V", Authors: []int{0, 1}, Method: m,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+	}
+	return c
+}
+
+func TestMethodTrendShares(t *testing.T) {
+	c := trendCorpus(t)
+	trend := c.MethodTrend(Qualitative, "")
+	if len(trend) != 5 {
+		t.Fatalf("trend years = %d", len(trend))
+	}
+	if trend[0].Year != 2015 || trend[0].Share != 0 {
+		t.Errorf("first point = %+v", trend[0])
+	}
+	if trend[4].Year != 2019 || math.Abs(trend[4].Share-0.8) > 1e-9 {
+		t.Errorf("last point = %+v", trend[4])
+	}
+	for _, p := range trend {
+		if p.N != 5 {
+			t.Errorf("year %d N = %d", p.Year, p.N)
+		}
+	}
+}
+
+func TestMethodTrendVenueFilter(t *testing.T) {
+	c := trendCorpus(t)
+	if got := c.MethodTrend(Qualitative, "OTHER"); len(got) != 0 {
+		t.Errorf("foreign venue trend = %v", got)
+	}
+}
+
+func TestTrendSlopePositive(t *testing.T) {
+	c := trendCorpus(t)
+	slope, r2 := TrendSlope(c.MethodTrend(Qualitative, ""))
+	if math.Abs(slope-0.2) > 1e-9 {
+		t.Errorf("slope = %g, want 0.2/year", slope)
+	}
+	if r2 < 0.99 {
+		t.Errorf("r2 = %g", r2)
+	}
+}
+
+func TestTrendSlopeDegenerate(t *testing.T) {
+	slope, r2 := TrendSlope(nil)
+	if !math.IsNaN(slope) || !math.IsNaN(r2) {
+		t.Error("empty trend should be NaN")
+	}
+}
+
+func TestQualitativeShareByYearCombines(t *testing.T) {
+	c := NewCorpus()
+	_ = c.AddAuthor(Author{ID: 0})
+	papers := []Paper{
+		{ID: 0, Year: 2020, Venue: "V", Authors: []int{0}, Method: Qualitative},
+		{ID: 1, Year: 2020, Venue: "V", Authors: []int{0}, Method: Mixed},
+		{ID: 2, Year: 2020, Venue: "V", Authors: []int{0}, Method: Measurement},
+		{ID: 3, Year: 2020, Venue: "V", Authors: []int{0}, Method: Theory},
+	}
+	for _, p := range papers {
+		if err := c.AddPaper(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trend := c.QualitativeShareByYear()
+	if len(trend) != 1 || math.Abs(trend[0].Share-0.5) > 1e-9 {
+		t.Errorf("combined share = %+v, want 0.5", trend)
+	}
+}
+
+func TestGeneratedCorpusTrendIsFlat(t *testing.T) {
+	// The generator draws method mix i.i.d. per year, so the fitted slope
+	// should be near zero — a null check that TrendSlope doesn't
+	// hallucinate trends.
+	cfg := DefaultGenConfig()
+	cfg.Papers = 2000
+	cfg.Authors = 800
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope, _ := TrendSlope(c.QualitativeShareByYear())
+	if math.Abs(slope) > 0.02 {
+		t.Errorf("null slope = %g, want ~0", slope)
+	}
+}

@@ -1,0 +1,112 @@
+// Package cn simulates a community wireless mesh network: a geometric mesh
+// topology with lossy links (ETX link metrics), a single scarce backhaul
+// gateway, per-member demand, and three capacity-sharing disciplines —
+// unmanaged proportional sharing, max-min fair queueing, and the
+// common-pool-resource credit scheme community networks use to manage
+// congestion socially (Johnson et al., CSCW 2021; paper §4).
+//
+// The simulator also includes the volunteer-maintenance model that the
+// community-network literature identifies as the other scarce resource
+// ("The Network Is an Excuse": hardware maintenance sustains the community).
+package cn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Network is a connected mesh with a designated gateway node. PathETX[i] is
+// the cumulative expected-transmission-count cost of node i's route to the
+// gateway: the airtime multiplier every byte from i pays on the shared
+// medium.
+type Network struct {
+	G       *graph.Graph
+	Pos     [][2]float64
+	Gateway int
+	PathETX []float64
+	parent  []int
+}
+
+// ErrDisconnected is returned when a connected mesh cannot be built.
+var ErrDisconnected = errors.New("cn: could not build a connected mesh")
+
+// BuildMesh places n nodes uniformly in the unit square, connects nodes
+// within radius, converts link distance into an ETX metric in [1, 3] (longer
+// links lose more frames), and routes every node to the gateway (node 0) via
+// minimum-ETX paths. It retries placement up to 32 times before giving up.
+func BuildMesh(n int, radius float64, r *rng.Rand) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("cn: mesh needs at least 2 nodes, got %d", n)
+	}
+	for attempt := 0; attempt < 32; attempt++ {
+		g, pos := graph.RandomGeometric(n, radius, r.Split())
+		if g.GiantComponentSize() != n {
+			continue
+		}
+		// Re-weight edges: ETX grows quadratically from 1 (adjacent) to 3
+		// (at max radius), a standard loss-vs-distance shape.
+		etxG := graph.New(n, false)
+		for u := 0; u < n; u++ {
+			for _, e := range g.Neighbors(u) {
+				if e.To > u {
+					frac := e.Weight / radius
+					etx := 1 + 2*frac*frac
+					if err := etxG.AddEdge(u, e.To, etx); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		dist, prev := etxG.Dijkstra(0)
+		net := &Network{G: etxG, Pos: pos, Gateway: 0, PathETX: dist, parent: prev}
+		return net, nil
+	}
+	return nil, ErrDisconnected
+}
+
+// RouteToGateway returns node i's path to the gateway (i first), or nil for
+// the gateway itself.
+func (n *Network) RouteToGateway(i int) []int {
+	if i == n.Gateway {
+		return nil
+	}
+	p := graph.Path(n.parent, n.Gateway, i)
+	if p == nil {
+		return nil
+	}
+	// graph.Path runs gateway→i; reverse to i→gateway.
+	for a, b := 0, len(p)-1; a < b; a, b = a+1, b-1 {
+		p[a], p[b] = p[b], p[a]
+	}
+	return p
+}
+
+// HopsToGateway returns the hop count of node i's gateway route.
+func (n *Network) HopsToGateway(i int) int {
+	p := n.RouteToGateway(i)
+	if p == nil {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// MeanPathETX returns the average gateway-path ETX over non-gateway nodes,
+// a one-number summary of mesh quality.
+func (n *Network) MeanPathETX() float64 {
+	sum, cnt := 0.0, 0
+	for i, d := range n.PathETX {
+		if i == n.Gateway || math.IsInf(d, 1) {
+			continue
+		}
+		sum += d
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}

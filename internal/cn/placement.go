@@ -1,0 +1,98 @@
+package cn
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// BestGateway evaluates every node as the backhaul site and returns the one
+// minimizing the mean ETX cost to all other nodes (the 1-median), together
+// with that mean. Community networks place their backhaul where a building
+// with wired service happens to volunteer; this computes how much better a
+// deliberate choice could do.
+func BestGateway(g *graph.Graph) (node int, meanETX float64) {
+	best, bestMean := -1, math.Inf(1)
+	for cand := 0; cand < g.N(); cand++ {
+		dist, _ := g.Dijkstra(cand)
+		m, ok := meanFinite(dist, cand)
+		if !ok {
+			continue
+		}
+		if m < bestMean {
+			best, bestMean = cand, m
+		}
+	}
+	return best, bestMean
+}
+
+// BestSecondGateway, given an existing gateway, returns the node whose
+// addition as a second backhaul minimizes the mean of min(d(first), d(c))
+// over all nodes, with that mean. It answers the community's most common
+// upgrade question: where should the second uplink go?
+func BestSecondGateway(g *graph.Graph, first int) (node int, meanETX float64) {
+	base, _ := g.Dijkstra(first)
+	best, bestMean := -1, math.Inf(1)
+	for cand := 0; cand < g.N(); cand++ {
+		if cand == first {
+			continue
+		}
+		dist, _ := g.Dijkstra(cand)
+		var sum float64
+		cnt := 0
+		for v := 0; v < g.N(); v++ {
+			if v == first || v == cand {
+				continue
+			}
+			d := math.Min(base[v], dist[v])
+			if math.IsInf(d, 1) {
+				continue
+			}
+			sum += d
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		m := sum / float64(cnt)
+		if m < bestMean {
+			best, bestMean = cand, m
+		}
+	}
+	return best, bestMean
+}
+
+func meanFinite(dist []float64, skip int) (float64, bool) {
+	var sum float64
+	cnt := 0
+	for v, d := range dist {
+		if v == skip || math.IsInf(d, 1) {
+			continue
+		}
+		sum += d
+		cnt++
+	}
+	if cnt == 0 {
+		return 0, false
+	}
+	return sum / float64(cnt), true
+}
+
+// BuildOptimizedMesh builds a connected mesh like BuildMesh and then
+// re-roots it at the 1-median gateway instead of node 0.
+func BuildOptimizedMesh(n int, radius float64, r *rng.Rand) (*Network, error) {
+	net, err := BuildMesh(n, radius, r)
+	if err != nil {
+		return nil, err
+	}
+	best, _ := BestGateway(net.G)
+	if best == net.Gateway {
+		return net, nil
+	}
+	dist, prev := net.G.Dijkstra(best)
+	net.Gateway = best
+	net.PathETX = dist
+	net.parent = prev
+	return net, nil
+}

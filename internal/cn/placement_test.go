@@ -1,0 +1,84 @@
+package cn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestBestGatewayOnLine(t *testing.T) {
+	// Path 0-1-2-3-4: the median node 2 minimizes mean distance.
+	g := graph.New(5, false)
+	for i := 0; i+1 < 5; i++ {
+		if err := g.AddEdge(i, i+1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	node, mean := BestGateway(g)
+	if node != 2 {
+		t.Errorf("best gateway = %d, want 2", node)
+	}
+	if math.Abs(mean-1.5) > 1e-9 {
+		t.Errorf("mean = %g, want 1.5", mean)
+	}
+}
+
+func TestBestGatewayBeatsArbitraryRoot(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		net, err := BuildMesh(30, 0.35, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defaultMean := net.MeanPathETX()
+		opt, err := BuildOptimizedMesh(30, 0.35, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.MeanPathETX() > defaultMean+1e-9 {
+			t.Errorf("seed %d: optimized mean %g worse than default %g",
+				seed, opt.MeanPathETX(), defaultMean)
+		}
+	}
+}
+
+func TestBestSecondGatewayImproves(t *testing.T) {
+	net, err := BuildOptimizedMesh(40, 0.3, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := net.Gateway
+	firstMean := net.MeanPathETX()
+	second, combinedMean := BestSecondGateway(net.G, first)
+	if second == -1 || second == first {
+		t.Fatalf("second gateway = %d", second)
+	}
+	if !(combinedMean < firstMean) {
+		t.Errorf("second gateway should improve mean: %g vs %g", combinedMean, firstMean)
+	}
+}
+
+func TestBestSecondGatewayOnLine(t *testing.T) {
+	// Path 0..6 with first gateway at 0: the best complement sits in the
+	// far half.
+	g := graph.New(7, false)
+	for i := 0; i+1 < 7; i++ {
+		_ = g.AddEdge(i, i+1, 1)
+	}
+	second, _ := BestSecondGateway(g, 0)
+	if second < 3 {
+		t.Errorf("second gateway = %d, want in the far half", second)
+	}
+}
+
+func TestBestGatewayDisconnected(t *testing.T) {
+	g := graph.New(3, false)
+	_ = g.AddEdge(0, 1, 1)
+	// Node 2 isolated: candidates reach only their own component; the best
+	// is within the 0-1 pair.
+	node, _ := BestGateway(g)
+	if node != 0 && node != 1 {
+		t.Errorf("best gateway = %d", node)
+	}
+}

@@ -1,0 +1,217 @@
+package cn
+
+import (
+	"math"
+	"sort"
+)
+
+// Scheduler allocates scarce backhaul airtime among members each epoch.
+// Allocate receives the members' airtime demands (bytes already scaled by
+// their path ETX) and the epoch's airtime capacity, and returns the airtime
+// granted to each member. Implementations may keep cross-epoch state (the
+// credit scheme does); call Reset to clear it between runs.
+type Scheduler interface {
+	Name() string
+	Allocate(demand []float64, capacity float64) []float64
+	Reset(members int)
+}
+
+// Proportional is the unmanaged baseline: everyone grabs airtime in
+// proportion to offered demand, so heavy users crowd out light ones. This is
+// what an unconfigured shared uplink does.
+type Proportional struct{}
+
+// Name implements Scheduler.
+func (Proportional) Name() string { return "proportional" }
+
+// Reset implements Scheduler (stateless).
+func (Proportional) Reset(int) {}
+
+// Allocate implements Scheduler.
+func (Proportional) Allocate(demand []float64, capacity float64) []float64 {
+	alloc := make([]float64, len(demand))
+	total := 0.0
+	for _, d := range demand {
+		total += d
+	}
+	if total <= capacity {
+		copy(alloc, demand)
+		return alloc
+	}
+	for i, d := range demand {
+		alloc[i] = d / total * capacity
+	}
+	return alloc
+}
+
+// MaxMin is the technical-fairness baseline: progressive water-filling that
+// satisfies small demands fully and splits the remainder equally. It has no
+// memory across epochs.
+type MaxMin struct{}
+
+// Name implements Scheduler.
+func (MaxMin) Name() string { return "maxmin" }
+
+// Reset implements Scheduler (stateless).
+func (MaxMin) Reset(int) {}
+
+// Allocate implements Scheduler.
+func (MaxMin) Allocate(demand []float64, capacity float64) []float64 {
+	return waterfill(demand, capacity)
+}
+
+// waterfill computes the max-min fair allocation with per-user caps equal to
+// demand.
+func waterfill(caps []float64, capacity float64) []float64 {
+	n := len(caps)
+	alloc := make([]float64, n)
+	if n == 0 || capacity <= 0 {
+		return alloc
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return caps[idx[a]] < caps[idx[b]] })
+	remaining := capacity
+	active := n
+	for _, i := range idx {
+		share := remaining / float64(active)
+		grant := math.Min(caps[i], share)
+		alloc[i] = grant
+		remaining -= grant
+		active--
+	}
+	return alloc
+}
+
+// CPR is the common-pool-resource credit scheme used by community networks
+// to manage congestion socially. Every member receives an equal credit
+// income each epoch; spending airtime under congestion costs credits, and
+// unspent credits roll over up to RolloverCap incomes. Under congestion the
+// allocation is max-min fair subject to each member's credit balance, so a
+// member who saved credits can burst past the instantaneous fair share —
+// the inter-temporal fairness that distinguishes community management from
+// per-epoch fair queueing. When the network is uncongested, usage is free
+// (the community only enforces during scarcity).
+type CPR struct {
+	// RolloverCap bounds the balance to this many epochs of income
+	// (default 3 when zero).
+	RolloverCap float64
+	balance     []float64
+	income      float64
+}
+
+// Name implements Scheduler.
+func (c *CPR) Name() string { return "cpr-credits" }
+
+// Reset implements Scheduler: clears balances for a run with the given
+// member count.
+func (c *CPR) Reset(members int) {
+	c.balance = make([]float64, members)
+	c.income = 0
+}
+
+// Balances returns a copy of the members' current credit balances.
+func (c *CPR) Balances() []float64 {
+	return append([]float64(nil), c.balance...)
+}
+
+// Allocate implements Scheduler.
+func (c *CPR) Allocate(demand []float64, capacity float64) []float64 {
+	n := len(demand)
+	if c.balance == nil || len(c.balance) != n {
+		c.Reset(n)
+	}
+	rollCap := c.RolloverCap
+	if rollCap <= 0 {
+		rollCap = 3
+	}
+	// Equal income per epoch; cap balances.
+	income := capacity / float64(n)
+	c.income = income
+	for i := range c.balance {
+		c.balance[i] += income
+		if c.balance[i] > rollCap*income {
+			c.balance[i] = rollCap * income
+		}
+	}
+
+	total := 0.0
+	for _, d := range demand {
+		total += d
+	}
+	alloc := make([]float64, n)
+	if total <= capacity {
+		// Uncongested: grant everything, charge nothing.
+		copy(alloc, demand)
+		return alloc
+	}
+	// Congested: divide capacity in proportion to credit balances, capped
+	// by demand (weighted water-fill). A member who saved credits holds a
+	// larger weight and can burst past the instantaneous equal share.
+	alloc = weightedFill(demand, c.balance, capacity)
+	for i := range alloc {
+		c.balance[i] -= math.Min(alloc[i], c.balance[i])
+	}
+	return alloc
+}
+
+// weightedFill splits capacity in proportion to weights, capping each
+// member at its demand and redistributing the excess among unsaturated
+// members until the capacity or all demand is exhausted. Zero total weight
+// among unsaturated members falls back to equal weights.
+func weightedFill(demand, weight []float64, capacity float64) []float64 {
+	n := len(demand)
+	alloc := make([]float64, n)
+	remaining := capacity
+	saturated := make([]bool, n)
+	for iter := 0; iter < n+1 && remaining > 1e-12; iter++ {
+		var w float64
+		activeAny := false
+		for i := 0; i < n; i++ {
+			if !saturated[i] && demand[i]-alloc[i] > 1e-12 {
+				w += weight[i]
+				activeAny = true
+			}
+		}
+		if !activeAny {
+			break
+		}
+		equal := w <= 1e-12
+		var activeN float64
+		if equal {
+			for i := 0; i < n; i++ {
+				if !saturated[i] && demand[i]-alloc[i] > 1e-12 {
+					activeN++
+				}
+			}
+		}
+		capped := false
+		grantTotal := 0.0
+		for i := 0; i < n; i++ {
+			if saturated[i] || demand[i]-alloc[i] <= 1e-12 {
+				continue
+			}
+			var share float64
+			if equal {
+				share = remaining / activeN
+			} else {
+				share = remaining * weight[i] / w
+			}
+			room := demand[i] - alloc[i]
+			if share >= room {
+				share = room
+				saturated[i] = true
+				capped = true
+			}
+			alloc[i] += share
+			grantTotal += share
+		}
+		remaining -= grantTotal
+		if !capped {
+			break
+		}
+	}
+	return alloc
+}

@@ -1,0 +1,155 @@
+package cn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// quickDemands turns fuzz bytes into a plausible demand vector.
+func quickDemands(raw []uint8) []float64 {
+	if len(raw) == 0 {
+		return nil
+	}
+	if len(raw) > 24 {
+		raw = raw[:24]
+	}
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		out[i] = float64(v) / 8
+	}
+	return out
+}
+
+func TestQuickWaterfillInvariants(t *testing.T) {
+	f := func(raw []uint8, capRaw uint8) bool {
+		demand := quickDemands(raw)
+		if demand == nil {
+			return true
+		}
+		capacity := float64(capRaw) / 4
+		alloc := waterfill(demand, capacity)
+		var sum, total float64
+		for i, a := range alloc {
+			if a < -1e-9 || a > demand[i]+1e-9 {
+				return false
+			}
+			sum += a
+			total += demand[i]
+		}
+		// Either capacity or demand is exhausted (within epsilon).
+		want := capacity
+		if total < capacity {
+			want = total
+		}
+		return sum <= want+1e-6 && sum >= want-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWeightedFillInvariants(t *testing.T) {
+	f := func(raw []uint8, wRaw []uint8, capRaw uint8) bool {
+		demand := quickDemands(raw)
+		if demand == nil {
+			return true
+		}
+		weight := make([]float64, len(demand))
+		for i := range weight {
+			if i < len(wRaw) {
+				weight[i] = float64(wRaw[i])
+			}
+		}
+		capacity := float64(capRaw) / 4
+		alloc := weightedFill(demand, weight, capacity)
+		var sum, total float64
+		for i, a := range alloc {
+			if a < -1e-9 || a > demand[i]+1e-9 {
+				return false
+			}
+			sum += a
+			total += demand[i]
+		}
+		want := capacity
+		if total < capacity {
+			want = total
+		}
+		return sum <= want+1e-6 && sum >= want-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWeightedFillMonotoneInWeight(t *testing.T) {
+	// With identical demands and binding capacity, a member with strictly
+	// larger weight never receives less.
+	f := func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		n := 3 + r.Intn(6)
+		demand := make([]float64, n)
+		weight := make([]float64, n)
+		for i := range demand {
+			demand[i] = 100 // non-binding caps
+			weight[i] = 1 + 10*r.Float64()
+		}
+		capacity := 10.0
+		alloc := weightedFill(demand, weight, capacity)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if weight[i] > weight[j]+1e-9 && alloc[i] < alloc[j]-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCPRAllocationsBounded(t *testing.T) {
+	f := func(seed uint32, epochs uint8) bool {
+		r := rng.New(uint64(seed))
+		c := &CPR{}
+		n := 4
+		c.Reset(n)
+		for e := 0; e < int(epochs%40)+1; e++ {
+			demand := make([]float64, n)
+			for i := range demand {
+				demand[i] = r.Pareto(0.5, 1.3)
+			}
+			alloc := c.Allocate(demand, 3)
+			sum := 0.0
+			for i, a := range alloc {
+				if a < -1e-9 || a > demand[i]+1e-9 {
+					return false
+				}
+				sum += a
+			}
+			if sum > 3+1e-6 {
+				// Uncongested epochs may grant all demand below capacity.
+				total := 0.0
+				for _, d := range demand {
+					total += d
+				}
+				if total > 3 {
+					return false
+				}
+			}
+			// Balances never go negative.
+			for _, b := range c.Balances() {
+				if b < -1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,222 @@
+package cn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// MemberKind distinguishes the two behavioural classes in the congestion
+// experiment: light users with occasional bursts, and heavy users with
+// sustained high demand.
+type MemberKind int
+
+// Member kinds.
+const (
+	LightUser MemberKind = iota
+	HeavyUser
+)
+
+// String returns the kind name.
+func (k MemberKind) String() string {
+	if k == HeavyUser {
+		return "heavy"
+	}
+	return "light"
+}
+
+// DemandModel generates per-epoch byte demands for each member.
+type DemandModel struct {
+	// Kinds assigns each member a behaviour class.
+	Kinds []MemberKind
+	// LightBase is the mean of a light user's everyday demand.
+	LightBase float64
+	// BurstProb is the chance a light user bursts in an epoch.
+	BurstProb float64
+	// BurstFactor multiplies LightBase during a burst.
+	BurstFactor float64
+	// HeavyBase is the mean sustained demand of a heavy user.
+	HeavyBase float64
+}
+
+// NewDemandModel assigns the first n*heavyFrac members HeavyUser and the
+// rest LightUser, with the standard parameters used by experiment E3.
+func NewDemandModel(n int, heavyFrac float64) DemandModel {
+	kinds := make([]MemberKind, n)
+	heavy := int(float64(n) * heavyFrac)
+	for i := 0; i < heavy; i++ {
+		kinds[i] = HeavyUser
+	}
+	return DemandModel{
+		Kinds:       kinds,
+		LightBase:   1,
+		BurstProb:   0.05,
+		BurstFactor: 20,
+		HeavyBase:   15,
+	}
+}
+
+// Sample returns one epoch of byte demands and a parallel slice marking
+// which light users burst this epoch.
+func (m DemandModel) Sample(r *rng.Rand) (demand []float64, burst []bool) {
+	demand = make([]float64, len(m.Kinds))
+	burst = make([]bool, len(m.Kinds))
+	for i, k := range m.Kinds {
+		switch k {
+		case HeavyUser:
+			demand[i] = m.HeavyBase * (0.5 + r.Float64())
+		default:
+			demand[i] = m.LightBase * (0.5 + r.Float64())
+			if r.Bool(m.BurstProb) {
+				demand[i] *= m.BurstFactor
+				burst[i] = true
+			}
+		}
+	}
+	return demand, burst
+}
+
+// SimConfig parameterizes a congestion-management run.
+type SimConfig struct {
+	Members   int
+	HeavyFrac float64
+	// CapacityFactor scales the gateway capacity relative to mean offered
+	// airtime load; < 1 means chronic congestion.
+	CapacityFactor float64
+	Epochs         int
+	MeshRadius     float64
+	Seed           uint64
+}
+
+// SimResult summarizes one run of one scheduler.
+type SimResult struct {
+	Scheduler string
+	// LightProtected is the fraction of light-user observations during
+	// congested epochs whose demand was (essentially) fully served — the
+	// "small demands are protected from heavy hitters" guarantee that
+	// distinguishes managed sharing from an unmanaged uplink.
+	LightProtected float64
+	// LightSatisfaction is light users' mean granted/demanded.
+	LightSatisfaction float64
+	// HeavySatisfaction is heavy users' mean granted/demanded.
+	HeavySatisfaction float64
+	// BurstSatisfaction is light users' mean granted/demanded during their
+	// burst epochs only — the inter-temporal fairness measure where the
+	// credit scheme should shine.
+	BurstSatisfaction float64
+	// Utilization is allocated/capacity averaged over epochs.
+	Utilization float64
+	// CongestedEpochs counts epochs where offered load exceeded capacity.
+	CongestedEpochs int
+}
+
+// Simulate runs the demand process through sched over a freshly built mesh
+// and returns the summary. Member 0 of the behavioural model maps to mesh
+// node 1 (node 0 is the gateway).
+func Simulate(cfg SimConfig, sched Scheduler) (SimResult, error) {
+	if cfg.Members < 2 {
+		return SimResult{}, fmt.Errorf("cn: need at least 2 members, got %d", cfg.Members)
+	}
+	r := rng.New(cfg.Seed)
+	radius := cfg.MeshRadius
+	if radius == 0 {
+		radius = 0.35
+	}
+	net, err := BuildMesh(cfg.Members+1, radius, r.Split())
+	if err != nil {
+		return SimResult{}, err
+	}
+	model := NewDemandModel(cfg.Members, cfg.HeavyFrac)
+	demandRNG := r.Split()
+
+	// Estimate mean offered airtime to size capacity.
+	meanBytes := 0.0
+	for _, k := range model.Kinds {
+		if k == HeavyUser {
+			meanBytes += model.HeavyBase
+		} else {
+			meanBytes += model.LightBase * (1 + model.BurstProb*(model.BurstFactor-1))
+		}
+	}
+	meanETX := net.MeanPathETX()
+	capacity := cfg.CapacityFactor * meanBytes * meanETX
+
+	sched.Reset(cfg.Members)
+	var (
+		lights, heavies, bursts []float64
+		utils                   []float64
+		congested               int
+		lightObs, lightFull     int
+	)
+	for e := 0; e < cfg.Epochs; e++ {
+		bytesDemand, burst := model.Sample(demandRNG)
+		airDemand := make([]float64, cfg.Members)
+		offered := 0.0
+		for i := range bytesDemand {
+			airDemand[i] = bytesDemand[i] * net.PathETX[i+1]
+			offered += airDemand[i]
+		}
+		alloc := sched.Allocate(airDemand, capacity)
+
+		granted := 0.0
+		sat := make([]float64, cfg.Members)
+		for i := range alloc {
+			granted += alloc[i]
+			if airDemand[i] > 0 {
+				sat[i] = alloc[i] / airDemand[i]
+			}
+		}
+		utils = append(utils, granted/capacity)
+		epochCongested := offered > capacity
+		if epochCongested {
+			congested++
+		}
+		for i, k := range model.Kinds {
+			switch {
+			case k == HeavyUser:
+				heavies = append(heavies, sat[i])
+			case burst[i]:
+				bursts = append(bursts, sat[i])
+				lights = append(lights, sat[i])
+			default:
+				lights = append(lights, sat[i])
+			}
+			if k == LightUser && epochCongested && !burst[i] {
+				lightObs++
+				if sat[i] >= 0.99 {
+					lightFull++
+				}
+			}
+		}
+	}
+	protected := 0.0
+	if lightObs > 0 {
+		protected = float64(lightFull) / float64(lightObs)
+	}
+	return SimResult{
+		Scheduler:         sched.Name(),
+		LightProtected:    protected,
+		LightSatisfaction: stats.Mean(lights),
+		HeavySatisfaction: stats.Mean(heavies),
+		BurstSatisfaction: stats.Mean(bursts),
+		Utilization:       stats.Mean(utils),
+		CongestedEpochs:   congested,
+	}, nil
+}
+
+// CompareSchedulers runs the same configuration through the unmanaged,
+// max-min, and CPR disciplines (same seed, hence identical demand and mesh)
+// and returns the three results in that order.
+func CompareSchedulers(cfg SimConfig) ([]SimResult, error) {
+	scheds := []Scheduler{Proportional{}, MaxMin{}, &CPR{}}
+	out := make([]SimResult, 0, len(scheds))
+	for _, s := range scheds {
+		res, err := Simulate(cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ethno"
+	"repro/internal/par"
+	"repro/internal/positionality"
+	"repro/internal/qualcode"
+	"repro/internal/rng"
+)
+
+func fullStudy(t *testing.T) *Study {
+	t.Helper()
+	s := NewStudy("Community LTE Deployment")
+	if err := s.PAR.AddStakeholder(par.Stakeholder{
+		ID: "scn", Name: "Seattle Community Network", Marginal: true, ConsentRecorded: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range par.Phases() {
+		if err := s.PAR.Engage(par.Engagement{StakeholderID: "scn", Phase: ph, Level: par.Collaborating}); err != nil {
+			t.Fatal(err)
+		}
+		s.PAR.Reflect(ph, "researcher holds both network-lead and research-lead roles")
+	}
+	if err := s.AddPartnership(Partnership{
+		Partner:    "Seattle Community Network",
+		Formed:     "introduced through the municipal digital-equity coalition",
+		Influenced: []par.Phase{par.ProblemFormation, par.Evaluation},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddConversation(Conversation{
+		With:           "volunteer operator",
+		Context:        "site visit",
+		Summary:        "billing confusion drives churn more than coverage gaps",
+		Day:            12,
+		Quotes:         []string{"people leave because the top-up flow is confusing"},
+		ConsentToQuote: true,
+		OpenQuestions:  []string{"does confusion correlate with language?"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Researchers = []positionality.Researcher{{
+		Name: "Lead",
+		Attributes: []positionality.Attribute{
+			{Kind: positionality.Expertise, Value: "network engineer", Topics: []string{"lte"}, Disclosed: true},
+			{Kind: positionality.Belief, Value: "community ownership matters", Topics: []string{"governance"}, Disclosed: true},
+		},
+	}}
+	s.Claims = []positionality.Claim{
+		{ID: "c1", Text: "community governance improves sustainability", Topics: []string{"governance"}},
+	}
+	if err := s.Field.AddSite(ethno.Site{ID: "village", MaxInsight: 10, Tau: 5, TravelDays: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Field.Record(ethno.FieldNote{SiteID: "village", Day: 11, Kind: ethno.Observation, Text: "storm took down the relay"}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAddValidation(t *testing.T) {
+	s := NewStudy("x")
+	if err := s.AddPartnership(Partnership{Partner: "p"}); err == nil {
+		t.Error("partnership without formation story accepted")
+	}
+	if err := s.AddConversation(Conversation{With: "y"}); err == nil {
+		t.Error("conversation without summary accepted")
+	}
+}
+
+func TestChecklistFullStudyPasses(t *testing.T) {
+	s := fullStudy(t)
+	c := s.Check()
+	if c.Score() != 5 {
+		t.Errorf("score = %d, checklist = %+v", c.Score(), c)
+	}
+	if c.PositionalityGaps != 0 {
+		t.Errorf("gaps = %d", c.PositionalityGaps)
+	}
+}
+
+func TestChecklistDetectsGaps(t *testing.T) {
+	s := fullStudy(t)
+	// Hide the relevant belief.
+	s.Researchers[0].Attributes[1].Disclosed = false
+	c := s.Check()
+	if c.PositionalityGaps != 1 {
+		t.Errorf("gaps = %d, want 1", c.PositionalityGaps)
+	}
+	// Remove engagement in one phase.
+	s2 := NewStudy("partial")
+	_ = s2.PAR.AddStakeholder(par.Stakeholder{ID: "p"})
+	_ = s2.PAR.Engage(par.Engagement{StakeholderID: "p", Phase: par.ProblemFormation, Level: par.Collaborating})
+	if s2.Check().ParticipationFull {
+		t.Error("partial participation reported as full")
+	}
+}
+
+func TestChecklistEmptyStudy(t *testing.T) {
+	s := NewStudy("empty")
+	c := s.Check()
+	if c.PartnershipsDocumented || c.ConversationsDocumented || c.PositionalityProvided {
+		t.Errorf("empty study checklist = %+v", c)
+	}
+	// Empty PAR: coverage 0, but audit also empty (no phases active, no
+	// stakeholders) — EthicsClean may hold; participation must not.
+	if c.ParticipationFull {
+		t.Error("empty study reported full participation")
+	}
+}
+
+func TestMethodsAppendixContent(t *testing.T) {
+	s := fullStudy(t)
+	md := s.MethodsAppendix()
+	for _, want := range []string{
+		"# Methods Appendix: Community LTE Deployment",
+		"## Partnerships",
+		"municipal digital-equity coalition",
+		"Influenced: evaluation, problem-formation",
+		"## Formative conversations",
+		"top-up flow is confusing",
+		"Open question: does confusion correlate with language?",
+		"## Positionality",
+		"network engineer",
+		"## Participation matrix",
+		"Coverage score: 1.00",
+		"| problem-formation | scn | collaborating |",
+		"## Ethics & participation audit",
+		"No findings.",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("appendix missing %q", want)
+		}
+	}
+}
+
+func TestMethodsAppendixWithholdsQuotesWithoutConsent(t *testing.T) {
+	s := fullStudy(t)
+	s.Conversations[0].ConsentToQuote = false
+	md := s.MethodsAppendix()
+	if strings.Contains(md, "top-up flow is confusing") {
+		t.Error("quote leaked without consent")
+	}
+	if !strings.Contains(md, "Direct quotes withheld") {
+		t.Error("missing withholding notice")
+	}
+}
+
+func TestMethodsAppendixDeterministic(t *testing.T) {
+	s := fullStudy(t)
+	if s.MethodsAppendix() != s.MethodsAppendix() {
+		t.Error("appendix not deterministic")
+	}
+}
+
+func TestMethodsAppendixEmptySections(t *testing.T) {
+	s := NewStudy("bare")
+	md := s.MethodsAppendix()
+	for _, want := range []string{"No partnerships documented", "No conversations documented", "No positionality statements"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("bare appendix missing %q", want)
+		}
+	}
+}
+
+func TestMethodsAppendixSurfacesAuditFindings(t *testing.T) {
+	s := NewStudy("audited")
+	_ = s.PAR.AddStakeholder(par.Stakeholder{ID: "m", Marginal: true})
+	_ = s.PAR.Engage(par.Engagement{StakeholderID: "m", Phase: par.ProblemFormation, Level: par.Collaborating})
+	md := s.MethodsAppendix()
+	if !strings.Contains(md, "without recorded consent") {
+		t.Error("audit finding missing from appendix")
+	}
+}
+
+func TestTriangulationReport(t *testing.T) {
+	s := fullStudy(t)
+	report := s.TriangulationReport([]ethno.Anomaly{
+		{Day: 10, Label: "throughput collapse"},
+		{Day: 40, Label: "latency shift"},
+	}, 2)
+	if !strings.Contains(report, "1/2 anomalies explained") {
+		t.Errorf("report = %s", report)
+	}
+	if !strings.Contains(report, "storm took down the relay") {
+		t.Error("matched note missing")
+	}
+	if !strings.Contains(report, "unexplained") {
+		t.Error("unexplained anomaly missing")
+	}
+}
+
+func TestMethodsAppendixIncludesCodedCorpus(t *testing.T) {
+	s := fullStudy(t)
+	cfg := qualcode.SynthConfig{Docs: 3, SegsPerDoc: 6}
+	project, truth, err := qualcode.GenerateCorpus(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"c1", "c2"} {
+		sc := qualcode.SimulatedCoder{Name: name, Accuracy: 0.85}
+		if err := sc.CodeProject(project, truth, cfg, rng.New(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Coding = project
+	md := s.MethodsAppendix()
+	for _, want := range []string{"## Coded corpus", "Krippendorff alpha", "Mean pairwise Cohen kappa", "| Code | Applications |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("appendix missing %q", want)
+		}
+	}
+	// Without coders, the section is omitted.
+	s.Coding = qualcode.NewProject(qualcode.NewCodebook())
+	if strings.Contains(s.MethodsAppendix(), "## Coded corpus") {
+		t.Error("empty coding project should not produce a section")
+	}
+}

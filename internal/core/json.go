@@ -1,0 +1,257 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/ethno"
+	"repro/internal/par"
+	"repro/internal/positionality"
+)
+
+// StudySpec is the on-disk description of a study that cmd/methodsaudit
+// consumes: everything needed to compile a methods appendix and run the
+// recommendations checklist.
+type StudySpec struct {
+	Title        string            `json:"title"`
+	Stakeholders []StakeholderSpec `json:"stakeholders"`
+	Engagements  []EngagementSpec  `json:"engagements"`
+	Reflections  []ReflectionSpec  `json:"reflections,omitempty"`
+
+	Partnerships  []PartnershipSpec     `json:"partnerships"`
+	Conversations []Conversation        `json:"conversations"`
+	Researchers   []ResearcherSpec      `json:"researchers"`
+	Claims        []positionality.Claim `json:"claims,omitempty"`
+
+	FieldSites []ethno.Site      `json:"field_sites,omitempty"`
+	FieldNotes []ethno.FieldNote `json:"field_notes,omitempty"`
+}
+
+// StakeholderSpec mirrors par.Stakeholder for JSON.
+type StakeholderSpec struct {
+	ID              string `json:"id"`
+	Name            string `json:"name"`
+	Role            string `json:"role,omitempty"`
+	Marginal        bool   `json:"marginal,omitempty"`
+	ConsentRecorded bool   `json:"consent_recorded,omitempty"`
+}
+
+// EngagementSpec names phases and levels by string for readable JSON.
+type EngagementSpec struct {
+	StakeholderID string `json:"stakeholder"`
+	Phase         string `json:"phase"`
+	Level         string `json:"level"`
+	Notes         string `json:"notes,omitempty"`
+}
+
+// ReflectionSpec is one recorded reflection.
+type ReflectionSpec struct {
+	Phase string `json:"phase"`
+	Note  string `json:"note"`
+}
+
+// PartnershipSpec mirrors Partnership with string phases.
+type PartnershipSpec struct {
+	Partner    string   `json:"partner"`
+	Formed     string   `json:"formed"`
+	Influenced []string `json:"influenced,omitempty"`
+}
+
+// ResearcherSpec mirrors positionality.Researcher with string kinds.
+type ResearcherSpec struct {
+	Name       string          `json:"name"`
+	Attributes []AttributeSpec `json:"attributes"`
+}
+
+// AttributeSpec is one positionality attribute in JSON form.
+type AttributeSpec struct {
+	Kind      string   `json:"kind"`
+	Value     string   `json:"value"`
+	Topics    []string `json:"topics,omitempty"`
+	Disclosed bool     `json:"disclosed"`
+}
+
+// parsePhase maps a phase name to its value.
+func parsePhase(s string) (par.Phase, error) {
+	for _, ph := range par.Phases() {
+		if ph.String() == s {
+			return ph, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown phase %q", s)
+}
+
+// parseLevel maps a level name to its value.
+func parseLevel(s string) (par.Level, error) {
+	for _, l := range []par.Level{par.NotInvolved, par.Informed, par.Consulted, par.Collaborating, par.CommunityLed} {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown level %q", s)
+}
+
+// parseKind maps an attribute-kind name to its value.
+func parseKind(s string) (positionality.AttrKind, error) {
+	for _, k := range []positionality.AttrKind{
+		positionality.Location, positionality.Affiliation, positionality.Belief,
+		positionality.Membership, positionality.Expertise,
+	} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown attribute kind %q", s)
+}
+
+// BuildStudy materializes a StudySpec into a Study, validating every
+// reference and enum.
+func BuildStudy(spec StudySpec) (*Study, error) {
+	if spec.Title == "" {
+		return nil, fmt.Errorf("core: study needs a title")
+	}
+	s := NewStudy(spec.Title)
+	for _, st := range spec.Stakeholders {
+		if err := s.PAR.AddStakeholder(par.Stakeholder{
+			ID: st.ID, Name: st.Name, Role: st.Role,
+			Marginal: st.Marginal, ConsentRecorded: st.ConsentRecorded,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range spec.Engagements {
+		ph, err := parsePhase(e.Phase)
+		if err != nil {
+			return nil, err
+		}
+		lvl, err := parseLevel(e.Level)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.PAR.Engage(par.Engagement{
+			StakeholderID: e.StakeholderID, Phase: ph, Level: lvl, Notes: e.Notes,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, rf := range spec.Reflections {
+		ph, err := parsePhase(rf.Phase)
+		if err != nil {
+			return nil, err
+		}
+		s.PAR.Reflect(ph, rf.Note)
+	}
+	for _, p := range spec.Partnerships {
+		var phases []par.Phase
+		for _, name := range p.Influenced {
+			ph, err := parsePhase(name)
+			if err != nil {
+				return nil, err
+			}
+			phases = append(phases, ph)
+		}
+		if err := s.AddPartnership(Partnership{Partner: p.Partner, Formed: p.Formed, Influenced: phases}); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range spec.Conversations {
+		if err := s.AddConversation(c); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range spec.Researchers {
+		res := positionality.Researcher{Name: r.Name}
+		for _, a := range r.Attributes {
+			kind, err := parseKind(a.Kind)
+			if err != nil {
+				return nil, err
+			}
+			res.Attributes = append(res.Attributes, positionality.Attribute{
+				Kind: kind, Value: a.Value, Topics: a.Topics, Disclosed: a.Disclosed,
+			})
+		}
+		s.Researchers = append(s.Researchers, res)
+	}
+	s.Claims = spec.Claims
+	for _, site := range spec.FieldSites {
+		if err := s.Field.AddSite(site); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range spec.FieldNotes {
+		if err := s.Field.Record(n); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ReadStudy parses and builds a study from JSON.
+func ReadStudy(r io.Reader) (*Study, error) {
+	var spec StudySpec
+	if err := json.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("core: decode study: %w", err)
+	}
+	return BuildStudy(spec)
+}
+
+// ExportSpec converts a Study back to its JSON-serializable spec, the
+// inverse of BuildStudy (field notes and sites included; the coding project
+// has its own interchange format in qualcode).
+func (s *Study) ExportSpec() StudySpec {
+	spec := StudySpec{Title: s.Title, Claims: s.Claims, Conversations: s.Conversations}
+	if s.PAR != nil {
+		for _, id := range s.PAR.StakeholderIDs() {
+			st, _ := s.PAR.Stakeholder(id)
+			spec.Stakeholders = append(spec.Stakeholders, StakeholderSpec{
+				ID: st.ID, Name: st.Name, Role: st.Role,
+				Marginal: st.Marginal, ConsentRecorded: st.ConsentRecorded,
+			})
+		}
+		for _, e := range s.PAR.Engagements() {
+			spec.Engagements = append(spec.Engagements, EngagementSpec{
+				StakeholderID: e.StakeholderID,
+				Phase:         e.Phase.String(),
+				Level:         e.Level.String(),
+				Notes:         e.Notes,
+			})
+		}
+		for _, ph := range par.Phases() {
+			for _, note := range s.PAR.Reflections(ph) {
+				spec.Reflections = append(spec.Reflections, ReflectionSpec{Phase: ph.String(), Note: note})
+			}
+		}
+	}
+	for _, p := range s.Partnerships {
+		ps := PartnershipSpec{Partner: p.Partner, Formed: p.Formed}
+		for _, ph := range p.Influenced {
+			ps.Influenced = append(ps.Influenced, ph.String())
+		}
+		spec.Partnerships = append(spec.Partnerships, ps)
+	}
+	for _, r := range s.Researchers {
+		rs := ResearcherSpec{Name: r.Name}
+		for _, a := range r.Attributes {
+			rs.Attributes = append(rs.Attributes, AttributeSpec{
+				Kind: a.Kind.String(), Value: a.Value, Topics: a.Topics, Disclosed: a.Disclosed,
+			})
+		}
+		spec.Researchers = append(spec.Researchers, rs)
+	}
+	if s.Field != nil {
+		for _, id := range s.Field.SiteIDs() {
+			site, _ := s.Field.Site(id)
+			spec.FieldSites = append(spec.FieldSites, site)
+		}
+		spec.FieldNotes = s.Field.Notes("")
+	}
+	return spec
+}
+
+// WriteStudy writes the study spec as indented JSON.
+func (s *Study) WriteStudy(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.ExportSpec())
+}

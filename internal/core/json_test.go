@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleSpec = `{
+  "title": "Rural LTE Study",
+  "stakeholders": [
+    {"id": "coop", "name": "Valley Cooperative", "marginal": true, "consent_recorded": true}
+  ],
+  "engagements": [
+    {"stakeholder": "coop", "phase": "problem-formation", "level": "community-led"},
+    {"stakeholder": "coop", "phase": "solution-design", "level": "collaborating"},
+    {"stakeholder": "coop", "phase": "implementation", "level": "collaborating"},
+    {"stakeholder": "coop", "phase": "evaluation", "level": "collaborating"},
+    {"stakeholder": "coop", "phase": "publication", "level": "consulted"}
+  ],
+  "reflections": [
+    {"phase": "problem-formation", "note": "researchers also act as network operators"}
+  ],
+  "partnerships": [
+    {"partner": "Valley Cooperative", "formed": "via the county broadband task force", "influenced": ["problem-formation", "evaluation"]}
+  ],
+  "conversations": [
+    {"With": "coop treasurer", "Context": "monthly meeting", "Summary": "billing is the main churn driver", "Day": 14, "ConsentToQuote": false}
+  ],
+  "researchers": [
+    {"name": "Lead", "attributes": [
+      {"kind": "expertise", "value": "wireless networking", "topics": ["lte"], "disclosed": true}
+    ]}
+  ],
+  "claims": [
+    {"ID": "c1", "Text": "cooperative billing reduces churn", "Topics": ["billing"]}
+  ],
+  "field_sites": [
+    {"ID": "valley", "MaxInsight": 50, "Tau": 10, "TravelDays": 1}
+  ],
+  "field_notes": [
+    {"SiteID": "valley", "Day": 3, "Kind": 0, "Text": "tower install with volunteers"}
+  ]
+}`
+
+func TestReadStudy(t *testing.T) {
+	s, err := ReadStudy(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Title != "Rural LTE Study" {
+		t.Errorf("title = %q", s.Title)
+	}
+	c := s.Check()
+	if !c.PartnershipsDocumented || !c.ConversationsDocumented || !c.PositionalityProvided {
+		t.Errorf("checklist = %+v", c)
+	}
+	// Publication phase is only "consulted" → not full participation.
+	if c.ParticipationFull {
+		t.Error("participation should not be full")
+	}
+	md := s.MethodsAppendix()
+	if !strings.Contains(md, "county broadband task force") {
+		t.Error("appendix missing partnership")
+	}
+	if len(s.Field.Notes("")) != 1 {
+		t.Error("field notes not loaded")
+	}
+}
+
+func TestReadStudyRejectsBadEnums(t *testing.T) {
+	bad := []string{
+		`{"title": "x", "stakeholders": [{"id": "a"}], "engagements": [{"stakeholder": "a", "phase": "nope", "level": "informed"}]}`,
+		`{"title": "x", "stakeholders": [{"id": "a"}], "engagements": [{"stakeholder": "a", "phase": "evaluation", "level": "nope"}]}`,
+		`{"title": "x", "researchers": [{"name": "r", "attributes": [{"kind": "nope", "value": "v"}]}]}`,
+		`{"stakeholders": []}`,
+		`not json`,
+	}
+	for i, src := range bad {
+		if _, err := ReadStudy(strings.NewReader(src)); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestStudySpecRoundTrip(t *testing.T) {
+	s1, err := ReadStudy(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s1.WriteStudy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadStudy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.MethodsAppendix() != s2.MethodsAppendix() {
+		t.Error("round-tripped study renders a different appendix")
+	}
+	if s1.Check() != s2.Check() {
+		t.Errorf("checklists differ: %+v vs %+v", s1.Check(), s2.Check())
+	}
+}

@@ -1,0 +1,53 @@
+package ethno
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/qualcode"
+)
+
+// AsCodingDocuments converts the study's field notes into qualcode
+// documents — one document per site, one segment per note in day order —
+// so fieldwork can be formally coded with the same machinery as interview
+// transcripts (the §5.2 pipeline applied to §3's data). The segment speaker
+// records the note kind; segment IDs are the note's index within its site.
+func (s *Study) AsCodingDocuments() []qualcode.Document {
+	bySite := make(map[string][]FieldNote)
+	for _, n := range s.notes {
+		bySite[n.SiteID] = append(bySite[n.SiteID], n)
+	}
+	var out []qualcode.Document
+	for _, siteID := range s.SiteIDs() {
+		notes := bySite[siteID]
+		if len(notes) == 0 {
+			continue
+		}
+		sort.SliceStable(notes, func(a, b int) bool { return notes[a].Day < notes[b].Day })
+		doc := qualcode.Document{
+			ID:    "field-" + siteID,
+			Title: fmt.Sprintf("Field notes: %s", siteID),
+		}
+		for i, n := range notes {
+			doc.Segments = append(doc.Segments, qualcode.Segment{
+				ID:      i,
+				Speaker: n.Kind.String(),
+				Text:    n.Text,
+			})
+		}
+		out = append(out, doc)
+	}
+	return out
+}
+
+// NewCodingProject builds a qualcode project over the study's field notes
+// with the given codebook, ready for annotation.
+func (s *Study) NewCodingProject(cb *qualcode.Codebook) (*qualcode.Project, error) {
+	p := qualcode.NewProject(cb)
+	for _, d := range s.AsCodingDocuments() {
+		if err := p.AddDocument(d); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

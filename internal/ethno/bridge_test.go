@@ -1,0 +1,50 @@
+package ethno
+
+import (
+	"testing"
+
+	"repro/internal/qualcode"
+)
+
+func TestAsCodingDocuments(t *testing.T) {
+	s := newStudy(t, basicSite("a"), basicSite("b"), basicSite("empty"))
+	_ = s.Record(FieldNote{SiteID: "a", Day: 5, Kind: Interview, Text: "second"})
+	_ = s.Record(FieldNote{SiteID: "a", Day: 1, Kind: Observation, Text: "first"})
+	_ = s.Record(FieldNote{SiteID: "b", Day: 2, Kind: Artifact, Text: "photo of mast"})
+	docs := s.AsCodingDocuments()
+	if len(docs) != 2 {
+		t.Fatalf("docs = %d, want 2 (empty site skipped)", len(docs))
+	}
+	a := docs[0]
+	if a.ID != "field-a" || len(a.Segments) != 2 {
+		t.Fatalf("doc a = %+v", a)
+	}
+	// Day order, not record order.
+	if a.Segments[0].Text != "first" || a.Segments[1].Text != "second" {
+		t.Errorf("segments out of day order: %+v", a.Segments)
+	}
+	if a.Segments[0].Speaker != "observation" || a.Segments[1].Speaker != "interview" {
+		t.Errorf("kinds not carried: %+v", a.Segments)
+	}
+}
+
+func TestNewCodingProjectAnnotatable(t *testing.T) {
+	s := newStudy(t, basicSite("a"))
+	_ = s.Record(FieldNote{SiteID: "a", Day: 1, Kind: Observation, Text: "volunteers repaired the mast"})
+	cb := qualcode.NewCodebook()
+	if err := cb.Add(qualcode.Code{ID: "maintenance"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.NewCodingProject(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Annotate(qualcode.Annotation{
+		DocID: "field-a", SegmentID: 0, CodeID: "maintenance", Coder: "me",
+	}); err != nil {
+		t.Fatalf("field-note annotation failed: %v", err)
+	}
+	if got := p.CodeCounts()["maintenance"]; got != 1 {
+		t.Errorf("count = %d", got)
+	}
+}

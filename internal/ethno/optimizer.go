@@ -1,0 +1,51 @@
+package ethno
+
+import (
+	"fmt"
+	"math"
+)
+
+// OptimizeResult is the best schedule found by OptimizeSchedule.
+type OptimizeResult struct {
+	Plan    Schedule
+	Insight float64
+	Visits  int
+	Sites   int
+}
+
+// OptimizeSchedule searches round-robin schedules (1..maxVisits visits over
+// 1..len(sites) sites, equal visit lengths) under the budget and returns
+// the insight-maximizing plan. It is a design aid for the fieldwork-
+// planning question E7 poses: how should a team split limited time?
+//
+// The search space is deliberately the space a real team would consider —
+// uniform plans — rather than arbitrary unequal splits; it is exhaustive
+// over that space and deterministic.
+func (s *Study) OptimizeSchedule(budget float64, maxVisits int, params AccrualParams) (OptimizeResult, error) {
+	ids := s.SiteIDs()
+	if len(ids) == 0 {
+		return OptimizeResult{}, fmt.Errorf("ethno: no sites to schedule")
+	}
+	if budget <= 0 || maxVisits < 1 {
+		return OptimizeResult{}, fmt.Errorf("ethno: need positive budget and visits")
+	}
+	best := OptimizeResult{Insight: math.Inf(-1)}
+	for nSites := 1; nSites <= len(ids); nSites++ {
+		for visits := nSites; visits <= maxVisits; visits++ {
+			plan := roundRobinPlan(ids[:nSites], budget, visits)
+			res, err := s.Simulate(plan, params)
+			if err != nil {
+				return OptimizeResult{}, err
+			}
+			if res.Insight > best.Insight {
+				best = OptimizeResult{
+					Plan:    plan,
+					Insight: res.Insight,
+					Visits:  visits,
+					Sites:   nSites,
+				}
+			}
+		}
+	}
+	return best, nil
+}

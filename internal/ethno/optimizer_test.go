@@ -1,0 +1,59 @@
+package ethno
+
+import (
+	"testing"
+)
+
+func TestOptimizeScheduleValidation(t *testing.T) {
+	s := NewStudy()
+	if _, err := s.OptimizeSchedule(60, 5, DefaultParams()); err == nil {
+		t.Error("no sites accepted")
+	}
+	_ = s.AddSite(basicSite("a"))
+	if _, err := s.OptimizeSchedule(0, 5, DefaultParams()); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := s.OptimizeSchedule(60, 0, DefaultParams()); err == nil {
+		t.Error("zero visits accepted")
+	}
+}
+
+func TestOptimizeScheduleBeatsFixedStrategies(t *testing.T) {
+	cfg := DefaultE7Config()
+	study, err := buildStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunE7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := study.OptimizeSchedule(cfg.BudgetDays, 12, cfg.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if best.Insight+1e-9 < r.Insight {
+			t.Errorf("optimizer insight %g below %s strategy %g", best.Insight, r.Strategy, r.Insight)
+		}
+	}
+	if best.Plan.TotalDays() > cfg.BudgetDays+1e-9 {
+		t.Errorf("plan exceeds budget: %g", best.Plan.TotalDays())
+	}
+	if best.Sites < 1 || best.Visits < best.Sites {
+		t.Errorf("degenerate plan: %+v", best)
+	}
+}
+
+func TestOptimizeSchedulePrefersOneSiteWhenTravelIsRuinous(t *testing.T) {
+	s := NewStudy()
+	// One site, huge travel cost: the optimum is a single long stay.
+	_ = s.AddSite(Site{ID: "far", MaxInsight: 100, Tau: 10, TravelDays: 20})
+	best, err := s.OptimizeSchedule(50, 6, AccrualParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Visits != 1 {
+		t.Errorf("visits = %d, want 1 when travel dominates", best.Visits)
+	}
+}

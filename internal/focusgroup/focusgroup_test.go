@@ -1,0 +1,119 @@
+package focusgroup
+
+import (
+	"testing"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(Config{Turns: 10}); err == nil {
+		t.Error("no participants accepted")
+	}
+	if _, err := Simulate(Config{Participants: DefaultParticipants()}); err == nil {
+		t.Error("zero turns accepted")
+	}
+}
+
+func TestRoundRobinPerfectlyFair(t *testing.T) {
+	res, err := Simulate(Config{
+		Participants: DefaultParticipants(), Turns: 80, Strategy: RoundRobin, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpeakingJain < 0.999 {
+		t.Errorf("round-robin Jain = %g, want 1", res.SpeakingJain)
+	}
+	for id, n := range res.TurnsByID {
+		if n != 10 {
+			t.Errorf("%s spoke %d times, want 10", id, n)
+		}
+	}
+}
+
+func TestUnmoderatedDominance(t *testing.T) {
+	res, err := Simulate(Config{
+		Participants: DefaultParticipants(), Turns: 120, Strategy: Unmoderated, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpeakingJain > 0.8 {
+		t.Errorf("unmoderated Jain = %g, expected dominance", res.SpeakingJain)
+	}
+	if res.TurnsByID["dom1"] <= res.TurnsByID["quiet1"] {
+		t.Error("dominant speaker should out-speak quiet one")
+	}
+}
+
+func TestGatedIntervenes(t *testing.T) {
+	res, err := Simulate(Config{
+		Participants: DefaultParticipants(), Turns: 120, Strategy: Gated,
+		GateThreshold: 0.85, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interventions == 0 {
+		t.Error("gated moderation never intervened")
+	}
+	if res.SpeakingJain < 0.7 {
+		t.Errorf("gated Jain = %g, want improved equity", res.SpeakingJain)
+	}
+}
+
+func TestCompareShapes(t *testing.T) {
+	results, err := Compare(DefaultParticipants(), 150, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmod, rr, gated := results[0], results[1], results[2]
+	if unmod.Strategy != Unmoderated || rr.Strategy != RoundRobin || gated.Strategy != Gated {
+		t.Fatal("strategy order wrong")
+	}
+	// Moderation raises speaking equity.
+	if !(rr.SpeakingJain > unmod.SpeakingJain) {
+		t.Errorf("round-robin Jain %g should beat unmoderated %g", rr.SpeakingJain, unmod.SpeakingJain)
+	}
+	if !(gated.SpeakingJain > unmod.SpeakingJain) {
+		t.Errorf("gated Jain %g should beat unmoderated %g", gated.SpeakingJain, unmod.SpeakingJain)
+	}
+	// The substantive claim: quiet participants' insights surface under
+	// moderation and are lost without it.
+	if !(rr.QuietCoverage > unmod.QuietCoverage) {
+		t.Errorf("round-robin quiet coverage %g should beat unmoderated %g",
+			rr.QuietCoverage, unmod.QuietCoverage)
+	}
+	if !(gated.QuietCoverage > unmod.QuietCoverage) {
+		t.Errorf("gated quiet coverage %g should beat unmoderated %g",
+			gated.QuietCoverage, unmod.QuietCoverage)
+	}
+	if !(rr.InsightCoverage > unmod.InsightCoverage) {
+		t.Errorf("round-robin insight coverage %g should beat unmoderated %g",
+			rr.InsightCoverage, unmod.InsightCoverage)
+	}
+}
+
+func TestCompareDeterministic(t *testing.T) {
+	a, _ := Compare(DefaultParticipants(), 100, 5)
+	b, _ := Compare(DefaultParticipants(), 100, 5)
+	for i := range a {
+		if a[i].SpeakingJain != b[i].SpeakingJain || a[i].InsightCoverage != b[i].InsightCoverage {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestFacilitationString(t *testing.T) {
+	if Unmoderated.String() != "unmoderated" || Gated.String() != "gated" {
+		t.Error("strategy strings wrong")
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	ps := DefaultParticipants()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compare(ps, 150, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// ErdosRenyi returns an undirected G(n, p) random graph.
+func ErdosRenyi(n int, p float64, r *rng.Rand) *Graph {
+	g := New(n, false)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bool(p) {
+				_ = g.AddEdge(u, v, 1)
+			}
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert returns an undirected preferential-attachment graph where
+// each new node attaches m edges to existing nodes with probability
+// proportional to their degree. Used to model the skewed collaboration and
+// citation structures the paper describes ("the priorities of large moneyed
+// interests"). n must be > m and m >= 1.
+func BarabasiAlbert(n, m int, r *rng.Rand) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n <= m {
+		n = m + 1
+	}
+	g := New(n, false)
+	// Seed clique of m+1 nodes.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			_ = g.AddEdge(u, v, 1)
+		}
+	}
+	// Repeated-endpoint list implements preferential attachment in O(1).
+	var endpoints []int
+	for u := 0; u <= m; u++ {
+		for range g.Neighbors(u) {
+			endpoints = append(endpoints, u)
+		}
+	}
+	for u := m + 1; u < n; u++ {
+		chosen := make(map[int]bool)
+		for len(chosen) < m {
+			t := endpoints[r.Intn(len(endpoints))]
+			chosen[t] = true
+		}
+		for t := range chosen {
+			_ = g.AddEdge(u, t, 1)
+			endpoints = append(endpoints, u, t)
+		}
+	}
+	return g
+}
+
+// RandomGeometric places n nodes uniformly in the unit square and connects
+// pairs within the given radius; the edge weight is the Euclidean distance
+// (minimum 1e-9). This models the physical layout of community wireless
+// meshes. It returns the graph and node coordinates.
+func RandomGeometric(n int, radius float64, r *rng.Rand) (*Graph, [][2]float64) {
+	g := New(n, false)
+	pos := make([][2]float64, n)
+	for i := range pos {
+		pos[i] = [2]float64{r.Float64(), r.Float64()}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx := pos[u][0] - pos[v][0]
+			dy := pos[u][1] - pos[v][1]
+			d2 := dx*dx + dy*dy
+			if d2 <= radius*radius {
+				d := math.Sqrt(d2)
+				if d < 1e-9 {
+					d = 1e-9
+				}
+				_ = g.AddEdge(u, v, d)
+			}
+		}
+	}
+	return g, pos
+}

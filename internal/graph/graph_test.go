@@ -1,0 +1,496 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// line builds the path graph 0-1-2-...-n-1.
+func line(n int) *Graph {
+	g := New(n, false)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1, 1); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// star builds a star with center 0 and n-1 leaves.
+func star(n int) *Graph {
+	g := New(n, false)
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(0, i, 1); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3, false)
+	if err := g.AddEdge(0, 3, 1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(1, 1, 1); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := g.AddEdge(0, 1, 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if err := g.AddEdge(0, 1, 2.5); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+}
+
+func TestUndirectedSymmetry(t *testing.T) {
+	g := New(2, false)
+	_ = g.AddEdge(0, 1, 1)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("undirected edge not symmetric")
+	}
+}
+
+func TestDirectedAsymmetry(t *testing.T) {
+	g := New(2, true)
+	_ = g.AddEdge(0, 1, 1)
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("directed edge should be one-way")
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(1, false)
+	id := g.AddNode()
+	if id != 1 || g.N() != 2 {
+		t.Errorf("AddNode id=%d N=%d", id, g.N())
+	}
+}
+
+func TestBFSLine(t *testing.T) {
+	g := line(5)
+	d := g.BFS(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(3, false)
+	_ = g.AddEdge(0, 1, 1)
+	d := g.BFS(0)
+	if d[2] != -1 {
+		t.Errorf("unreachable dist = %d, want -1", d[2])
+	}
+}
+
+func TestDijkstraPrefersLightPath(t *testing.T) {
+	// 0→1→2 with weights 1+1, direct 0→2 with weight 5.
+	g := New(3, true)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(1, 2, 1)
+	_ = g.AddEdge(0, 2, 5)
+	dist, prev := g.Dijkstra(0)
+	if dist[2] != 2 {
+		t.Errorf("dist[2] = %g, want 2", dist[2])
+	}
+	p := Path(prev, 0, 2)
+	want := []int{0, 1, 2}
+	if len(p) != 3 {
+		t.Fatalf("path = %v, want %v", p, want)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("path = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestDijkstraUnreachableInf(t *testing.T) {
+	g := New(2, true)
+	dist, prev := g.Dijkstra(0)
+	if !math.IsInf(dist[1], 1) {
+		t.Errorf("unreachable dist = %g, want +Inf", dist[1])
+	}
+	if Path(prev, 0, 1) != nil {
+		t.Error("path to unreachable node should be nil")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(5, false)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(2, 3, 1)
+	label, count := g.Components()
+	if count != 3 {
+		t.Fatalf("components = %d, want 3", count)
+	}
+	if label[0] != label[1] || label[2] != label[3] || label[0] == label[2] || label[4] == label[0] {
+		t.Errorf("labels = %v", label)
+	}
+	if g.GiantComponentSize() != 2 {
+		t.Errorf("giant = %d, want 2", g.GiantComponentSize())
+	}
+}
+
+func TestWeakComponentsDirected(t *testing.T) {
+	g := New(3, true)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(2, 1, 1)
+	_, count := g.Components()
+	if count != 1 {
+		t.Errorf("weak components = %d, want 1", count)
+	}
+}
+
+func TestDegreeCentralityStar(t *testing.T) {
+	g := star(5)
+	c := g.DegreeCentrality()
+	if c[0] != 1 {
+		t.Errorf("center degree centrality = %g, want 1", c[0])
+	}
+	for i := 1; i < 5; i++ {
+		if math.Abs(c[i]-0.25) > 1e-9 {
+			t.Errorf("leaf centrality = %g, want 0.25", c[i])
+		}
+	}
+}
+
+func TestClosenessCentralityStar(t *testing.T) {
+	g := star(5)
+	c := g.ClosenessCentrality()
+	if math.Abs(c[0]-1) > 1e-9 {
+		t.Errorf("center closeness = %g, want 1", c[0])
+	}
+	// Leaf: distances 1,2,2,2 → sum 7, closeness 4/7.
+	if math.Abs(c[1]-4.0/7) > 1e-9 {
+		t.Errorf("leaf closeness = %g, want %g", c[1], 4.0/7)
+	}
+}
+
+func TestBetweennessLine(t *testing.T) {
+	g := line(3)
+	cb := g.BetweennessCentrality()
+	if cb[0] != 0 || cb[2] != 0 {
+		t.Errorf("endpoints betweenness = %g, %g, want 0", cb[0], cb[2])
+	}
+	if cb[1] != 1 {
+		t.Errorf("middle betweenness = %g, want 1", cb[1])
+	}
+}
+
+func TestBetweennessStarCenter(t *testing.T) {
+	g := star(5)
+	cb := g.BetweennessCentrality()
+	// Center lies on all C(4,2)=6 leaf pairs.
+	if cb[0] != 6 {
+		t.Errorf("center betweenness = %g, want 6", cb[0])
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	r := rng.New(3)
+	g := ErdosRenyi(50, 0.1, r)
+	pr := g.PageRank(0.85, 100, 1e-10)
+	sum := 0.0
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("PageRank sum = %g, want 1", sum)
+	}
+}
+
+func TestPageRankStarCenterHighest(t *testing.T) {
+	g := star(10)
+	pr := g.PageRank(0.85, 200, 1e-12)
+	for i := 1; i < 10; i++ {
+		if pr[0] <= pr[i] {
+			t.Errorf("center rank %g not above leaf %g", pr[0], pr[i])
+		}
+	}
+}
+
+func TestPageRankDanglingMass(t *testing.T) {
+	g := New(3, true)
+	_ = g.AddEdge(0, 1, 1) // 1 and 2 dangle
+	pr := g.PageRank(0.85, 100, 1e-12)
+	sum := pr[0] + pr[1] + pr[2]
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("dangling PageRank sum = %g, want 1", sum)
+	}
+}
+
+func TestEigenvectorStar(t *testing.T) {
+	g := star(6)
+	ev := g.EigenvectorCentrality(200, 1e-10)
+	for i := 1; i < 6; i++ {
+		if ev[0] <= ev[i] {
+			t.Errorf("center eigenvector %g not above leaf %g", ev[0], ev[i])
+		}
+	}
+}
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	// Two 5-cliques joined by a single bridge.
+	g := New(10, false)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			_ = g.AddEdge(u, v, 1)
+		}
+	}
+	for u := 5; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			_ = g.AddEdge(u, v, 1)
+		}
+	}
+	_ = g.AddEdge(4, 5, 1)
+	label, count := g.LabelPropagation(rng.New(1), 50)
+	if count != 2 {
+		t.Fatalf("communities = %d, want 2 (labels %v)", count, label)
+	}
+	for u := 1; u < 5; u++ {
+		if label[u] != label[0] {
+			t.Errorf("clique 1 split: %v", label)
+		}
+	}
+	for u := 6; u < 10; u++ {
+		if label[u] != label[5] {
+			t.Errorf("clique 2 split: %v", label)
+		}
+	}
+}
+
+func TestModularityGoodVsBad(t *testing.T) {
+	g := New(10, false)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			_ = g.AddEdge(u, v, 1)
+		}
+	}
+	for u := 5; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			_ = g.AddEdge(u, v, 1)
+		}
+	}
+	_ = g.AddEdge(0, 5, 1)
+	good := make([]int, 10)
+	for i := 5; i < 10; i++ {
+		good[i] = 1
+	}
+	bad := make([]int, 10)
+	for i := range bad {
+		bad[i] = i % 2
+	}
+	qGood := g.Modularity(good)
+	qBad := g.Modularity(bad)
+	if qGood <= qBad {
+		t.Errorf("good partition Q=%g should exceed bad Q=%g", qGood, qBad)
+	}
+	if qGood < 0.3 {
+		t.Errorf("good partition Q=%g unexpectedly low", qGood)
+	}
+}
+
+func TestErdosRenyiDensity(t *testing.T) {
+	r := rng.New(5)
+	g := ErdosRenyi(100, 0.2, r)
+	maxEdges := 100 * 99 / 2
+	density := float64(g.M()) / float64(maxEdges)
+	if math.Abs(density-0.2) > 0.03 {
+		t.Errorf("density = %g, want ~0.2", density)
+	}
+}
+
+func TestBarabasiAlbertSkew(t *testing.T) {
+	r := rng.New(7)
+	g := BarabasiAlbert(500, 2, r)
+	degs := make([]float64, g.N())
+	for u := 0; u < g.N(); u++ {
+		degs[u] = float64(g.Degree(u))
+	}
+	maxDeg, sum := 0.0, 0.0
+	for _, d := range degs {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		sum += d
+	}
+	meanDeg := sum / float64(len(degs))
+	if maxDeg < 5*meanDeg {
+		t.Errorf("BA max degree %g not heavy-tailed vs mean %g", maxDeg, meanDeg)
+	}
+	// Every non-seed node has at least m edges.
+	for u := 3; u < g.N(); u++ {
+		if g.Degree(u) < 2 {
+			t.Errorf("node %d degree %d < m", u, g.Degree(u))
+		}
+	}
+}
+
+func TestRandomGeometricConnectsClosePairs(t *testing.T) {
+	r := rng.New(9)
+	g, pos := RandomGeometric(80, 0.3, r)
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Neighbors(u) {
+			dx := pos[u][0] - pos[e.To][0]
+			dy := pos[u][1] - pos[e.To][1]
+			if math.Sqrt(dx*dx+dy*dy) > 0.3+1e-9 {
+				t.Fatalf("edge longer than radius: %d-%d", u, e.To)
+			}
+		}
+	}
+}
+
+func TestDegreeAssortativityStarNegative(t *testing.T) {
+	g := star(20)
+	a := g.DegreeAssortativity()
+	if !(a < 0) {
+		t.Errorf("star assortativity = %g, want negative", a)
+	}
+}
+
+func TestQuickBFSTriangleInequality(t *testing.T) {
+	r := rng.New(11)
+	f := func(seed uint32) bool {
+		g := ErdosRenyi(30, 0.15, rng.New(uint64(seed)))
+		d := g.BFS(0)
+		// For every edge (u,v): |d[u]-d[v]| <= 1 when both reachable.
+		for u := 0; u < g.N(); u++ {
+			for _, e := range g.Neighbors(u) {
+				if d[u] >= 0 && d[e.To] >= 0 {
+					diff := d[u] - d[e.To]
+					if diff < -1 || diff > 1 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: nil}
+	_ = r
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
+	f := func(seed uint32) bool {
+		g := ErdosRenyi(25, 0.2, rng.New(uint64(seed)))
+		bfs := g.BFS(0)
+		dij, _ := g.Dijkstra(0)
+		for i := range bfs {
+			if bfs[i] == -1 {
+				if !math.IsInf(dij[i], 1) {
+					return false
+				}
+				continue
+			}
+			if math.Abs(dij[i]-float64(bfs[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBetweenness200(b *testing.B) {
+	g := ErdosRenyi(200, 0.05, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.BetweennessCentrality()
+	}
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	g := BarabasiAlbert(2000, 3, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.PageRank(0.85, 50, 1e-8)
+	}
+}
+
+func TestKCoreCliqueWithTail(t *testing.T) {
+	// 4-clique (nodes 0-3) with a tail 3-4-5: clique nodes have core 3,
+	// tail nodes core 1.
+	g := New(6, false)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			_ = g.AddEdge(u, v, 1)
+		}
+	}
+	_ = g.AddEdge(3, 4, 1)
+	_ = g.AddEdge(4, 5, 1)
+	core := g.KCore()
+	for u := 0; u < 4; u++ {
+		if core[u] != 3 {
+			t.Errorf("clique node %d core = %d, want 3", u, core[u])
+		}
+	}
+	if core[4] != 1 || core[5] != 1 {
+		t.Errorf("tail cores = %d, %d, want 1", core[4], core[5])
+	}
+	if g.Degeneracy() != 3 {
+		t.Errorf("degeneracy = %d, want 3", g.Degeneracy())
+	}
+}
+
+func TestKCoreLine(t *testing.T) {
+	g := line(5)
+	for u, c := range g.KCore() {
+		if c != 1 {
+			t.Errorf("line node %d core = %d, want 1", u, c)
+		}
+	}
+}
+
+func TestKCoreIsolatedNodes(t *testing.T) {
+	g := New(3, false)
+	core := g.KCore()
+	for u, c := range core {
+		if c != 0 {
+			t.Errorf("isolated node %d core = %d", u, c)
+		}
+	}
+	if g.Degeneracy() != 0 {
+		t.Error("empty degeneracy should be 0")
+	}
+}
+
+func TestKCoreMonotoneUnderDensity(t *testing.T) {
+	sparse := ErdosRenyi(60, 0.05, rng.New(3))
+	dense := ErdosRenyi(60, 0.3, rng.New(3))
+	if !(dense.Degeneracy() > sparse.Degeneracy()) {
+		t.Errorf("denser graph should have higher degeneracy: %d vs %d",
+			dense.Degeneracy(), sparse.Degeneracy())
+	}
+}
+
+func TestKCoreBoundedByDegree(t *testing.T) {
+	g := BarabasiAlbert(200, 3, rng.New(5))
+	core := g.KCore()
+	for u, c := range core {
+		if c > g.Degree(u) {
+			t.Errorf("node %d core %d exceeds degree %d", u, c, g.Degree(u))
+		}
+		if c < 0 {
+			t.Errorf("negative core at %d", u)
+		}
+	}
+	// BA(m=3) graphs have degeneracy exactly m.
+	if d := g.Degeneracy(); d != 3 {
+		t.Errorf("BA degeneracy = %d, want 3", d)
+	}
+}

@@ -1,0 +1,170 @@
+// Package positionality operationalizes the paper's §4 and §5.3: modelling
+// a researcher's situated attributes (location, affiliations, beliefs,
+// community memberships, expertise), generating positionality statements,
+// auditing which attributes are relevant to which claims of a paper, and —
+// via the E9 experiment — measuring how much a researcher's lens shifts the
+// research agenda they would select ("a blockchain researcher being a
+// staunch proponent of Bitcoin versus being a skeptic could produce very
+// different works").
+package positionality
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AttrKind classifies a positionality attribute.
+type AttrKind int
+
+// Attribute kinds, following the paper's examples: geographic location,
+// institutional affiliation, beliefs (political/social/theoretical),
+// community membership, and domain expertise.
+const (
+	Location AttrKind = iota
+	Affiliation
+	Belief
+	Membership
+	Expertise
+)
+
+// String returns the kind name.
+func (k AttrKind) String() string {
+	switch k {
+	case Location:
+		return "location"
+	case Affiliation:
+		return "affiliation"
+	case Belief:
+		return "belief"
+	case Membership:
+		return "membership"
+	case Expertise:
+		return "expertise"
+	default:
+		return fmt.Sprintf("AttrKind(%d)", int(k))
+	}
+}
+
+// Attribute is one situated fact about a researcher, tagged with the
+// research topics it is relevant to.
+type Attribute struct {
+	Kind   AttrKind
+	Value  string
+	Topics []string
+	// Disclosed marks whether the researcher included it in a statement.
+	Disclosed bool
+}
+
+// Researcher is an author with positionality attributes.
+type Researcher struct {
+	Name       string
+	Attributes []Attribute
+}
+
+// Statement renders a positionality statement in the style the paper
+// describes ("one of the authors might situate themselves as a network
+// engineering expert, located in the Global North, with a feminist,
+// democratic, rural, community-based focus"). Only disclosed attributes
+// appear. The output is deterministic: attributes are grouped by kind in
+// kind order and sorted within groups.
+func (r Researcher) Statement() string {
+	groups := make(map[AttrKind][]string)
+	for _, a := range r.Attributes {
+		if !a.Disclosed {
+			continue
+		}
+		groups[a.Kind] = append(groups[a.Kind], a.Value)
+	}
+	if len(groups) == 0 {
+		return fmt.Sprintf("%s provides no positionality statement.", r.Name)
+	}
+	var parts []string
+	for _, k := range []AttrKind{Expertise, Location, Affiliation, Belief, Membership} {
+		vals := groups[k]
+		if len(vals) == 0 {
+			continue
+		}
+		sort.Strings(vals)
+		var lead string
+		switch k {
+		case Expertise:
+			lead = "works as"
+		case Location:
+			lead = "is located in"
+		case Affiliation:
+			lead = "is affiliated with"
+		case Belief:
+			lead = "holds the view(s):"
+		case Membership:
+			lead = "is a member of"
+		}
+		parts = append(parts, fmt.Sprintf("%s %s", lead, strings.Join(vals, ", ")))
+	}
+	return fmt.Sprintf("%s %s.", r.Name, strings.Join(parts, "; "))
+}
+
+// Claim is one research claim or design decision, tagged by topic.
+type Claim struct {
+	ID     string
+	Text   string
+	Topics []string
+}
+
+// AuditEntry flags one attribute as relevant to one claim.
+type AuditEntry struct {
+	ClaimID   string
+	Attribute Attribute
+	// Undisclosed marks relevant attributes missing from the statement —
+	// the reflexivity gap the audit exists to surface.
+	Undisclosed bool
+}
+
+// RelevanceAudit cross-references the researcher's attributes against the
+// claims' topics and returns every (claim, attribute) pair that shares a
+// topic, flagging undisclosed ones. Entries are ordered by claim ID then
+// attribute value for determinism.
+func RelevanceAudit(r Researcher, claims []Claim) []AuditEntry {
+	var out []AuditEntry
+	for _, c := range claims {
+		topicSet := make(map[string]bool, len(c.Topics))
+		for _, t := range c.Topics {
+			topicSet[t] = true
+		}
+		for _, a := range r.Attributes {
+			relevant := false
+			for _, t := range a.Topics {
+				if topicSet[t] {
+					relevant = true
+					break
+				}
+			}
+			if relevant {
+				out = append(out, AuditEntry{
+					ClaimID:     c.ID,
+					Attribute:   a,
+					Undisclosed: !a.Disclosed,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ClaimID != out[j].ClaimID {
+			return out[i].ClaimID < out[j].ClaimID
+		}
+		return out[i].Attribute.Value < out[j].Attribute.Value
+	})
+	return out
+}
+
+// DisclosureGaps returns only the undisclosed-but-relevant entries of an
+// audit.
+func DisclosureGaps(entries []AuditEntry) []AuditEntry {
+	var out []AuditEntry
+	for _, e := range entries {
+		if e.Undisclosed {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package qualcode
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Cooccurrence returns, for each unordered code pair applied by the same
+// coder to the same segment, the number of such (segment, coder) incidences.
+// Keys are "codeA|codeB" with codeA < codeB.
+func (p *Project) Cooccurrence() map[[2]string]int {
+	out := make(map[[2]string]int)
+	for docID, segIdx := range p.index {
+		_ = docID
+		for _, coderIdx := range segIdx {
+			for _, codes := range coderIdx {
+				ids := make([]string, 0, len(codes))
+				for c := range codes {
+					ids = append(ids, c)
+				}
+				sort.Strings(ids)
+				for i := 0; i < len(ids); i++ {
+					for j := i + 1; j < len(ids); j++ {
+						out[[2]string{ids[i], ids[j]}]++
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Theme is a cluster of codes that systematically co-occur, with the
+// incidence counts that support it.
+type Theme struct {
+	Codes   []string
+	Support int // total co-occurrence weight inside the theme
+}
+
+// Themes clusters the code co-occurrence graph with label propagation and
+// returns the multi-code clusters sorted by support (descending), then by
+// first code ID. minSupport drops co-occurrence edges below the threshold.
+func (p *Project) Themes(minSupport int, r *rng.Rand) []Theme {
+	co := p.Cooccurrence()
+	ids := p.Codebook.IDs()
+	idx := make(map[string]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	g := graph.New(len(ids), false)
+	for pair, cnt := range co {
+		if cnt < minSupport {
+			continue
+		}
+		_ = g.AddEdge(idx[pair[0]], idx[pair[1]], float64(cnt))
+	}
+	label, count := g.LabelPropagation(r, 50)
+	clusters := make([][]string, count)
+	for i, l := range label {
+		clusters[l] = append(clusters[l], ids[i])
+	}
+	var themes []Theme
+	for _, codes := range clusters {
+		if len(codes) < 2 {
+			continue
+		}
+		sort.Strings(codes)
+		inSet := make(map[string]bool, len(codes))
+		for _, c := range codes {
+			inSet[c] = true
+		}
+		support := 0
+		for pair, cnt := range co {
+			if inSet[pair[0]] && inSet[pair[1]] {
+				support += cnt
+			}
+		}
+		themes = append(themes, Theme{Codes: codes, Support: support})
+	}
+	sort.Slice(themes, func(i, j int) bool {
+		if themes[i].Support != themes[j].Support {
+			return themes[i].Support > themes[j].Support
+		}
+		return themes[i].Codes[0] < themes[j].Codes[0]
+	})
+	return themes
+}
+
+// Quote is an extracted, optionally redacted, segment supporting a code.
+type Quote struct {
+	DocID     string
+	SegmentID int
+	Speaker   string // pseudonym when redacted
+	Text      string
+	Coders    []string
+}
+
+// Quotes returns every segment to which codeID was applied by at least
+// minCoders coders. With redact set, speakers are replaced by stable
+// pseudonyms ("P1", "P2", ...) assigned in order of first appearance —
+// the privacy practice §5.2 recommends for direct quotes.
+func (p *Project) Quotes(codeID string, minCoders int, redact bool) []Quote {
+	if minCoders < 1 {
+		minCoders = 1
+	}
+	pseudonyms := make(map[string]string)
+	pseudo := func(speaker string) string {
+		if !redact {
+			return speaker
+		}
+		if name, ok := pseudonyms[speaker]; ok {
+			return name
+		}
+		name := fmt.Sprintf("P%d", len(pseudonyms)+1)
+		pseudonyms[speaker] = name
+		return name
+	}
+	var out []Quote
+	for _, docID := range p.DocumentIDs() {
+		d := p.docs[docID]
+		segs := append([]Segment(nil), d.Segments...)
+		sort.Slice(segs, func(i, j int) bool { return segs[i].ID < segs[j].ID })
+		for _, s := range segs {
+			var coders []string
+			for coder, codes := range p.index[docID][s.ID] {
+				if codes[codeID] {
+					coders = append(coders, coder)
+				}
+			}
+			if len(coders) < minCoders {
+				continue
+			}
+			sort.Strings(coders)
+			out = append(out, Quote{
+				DocID:     docID,
+				SegmentID: s.ID,
+				Speaker:   pseudo(s.Speaker),
+				Text:      s.Text,
+				Coders:    coders,
+			})
+		}
+	}
+	return out
+}
+
+// SaturationCurve returns, for documents processed in sorted-ID order, the
+// cumulative number of distinct codes applied after each document — the
+// standard evidence that data collection reached code saturation.
+func (p *Project) SaturationCurve() []int {
+	seen := make(map[string]bool)
+	var curve []int
+	for _, docID := range p.DocumentIDs() {
+		for _, coderIdx := range p.index[docID] {
+			for _, codes := range coderIdx {
+				for c := range codes {
+					seen[c] = true
+				}
+			}
+		}
+		curve = append(curve, len(seen))
+	}
+	return curve
+}

@@ -1,0 +1,102 @@
+package qualcode
+
+import (
+	"sort"
+)
+
+// CodebookDiff describes how a codebook changed between refinement
+// iterations — the artifact a coding team reviews when negotiating
+// definitions (§5.2's iterated formal coding made inspectable).
+type CodebookDiff struct {
+	Added     []string // codes in new but not old
+	Removed   []string // codes in old but not new
+	Redefined []string // same ID, different Definition
+	Moved     []string // same ID, different Parent
+}
+
+// Empty reports whether nothing changed.
+func (d CodebookDiff) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 &&
+		len(d.Redefined) == 0 && len(d.Moved) == 0
+}
+
+// DiffCodebooks compares two codebooks by code ID.
+func DiffCodebooks(old, new *Codebook) CodebookDiff {
+	var d CodebookDiff
+	for _, id := range new.IDs() {
+		nc, _ := new.Get(id)
+		oc, ok := old.Get(id)
+		if !ok {
+			d.Added = append(d.Added, id)
+			continue
+		}
+		if oc.Definition != nc.Definition {
+			d.Redefined = append(d.Redefined, id)
+		}
+		if oc.Parent != nc.Parent {
+			d.Moved = append(d.Moved, id)
+		}
+	}
+	for _, id := range old.IDs() {
+		if !new.Has(id) {
+			d.Removed = append(d.Removed, id)
+		}
+	}
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	sort.Strings(d.Redefined)
+	sort.Strings(d.Moved)
+	return d
+}
+
+// MergeCodebooks returns a new codebook containing every code from both
+// inputs. On ID conflicts the preferred codebook's definition and parent
+// win. Parent references are re-validated; a code whose parent exists in
+// neither book becomes top-level.
+func MergeCodebooks(preferred, other *Codebook) *Codebook {
+	out := NewCodebook()
+	// Collect the union, preferred winning.
+	union := make(map[string]Code)
+	for _, id := range other.IDs() {
+		c, _ := other.Get(id)
+		union[id] = c
+	}
+	for _, id := range preferred.IDs() {
+		c, _ := preferred.Get(id)
+		union[id] = c
+	}
+	// Topological insertion: parents before children; orphans become roots.
+	ids := make([]string, 0, len(union))
+	for id := range union {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for len(ids) > 0 {
+		var next []string
+		placed := 0
+		for _, id := range ids {
+			c := union[id]
+			if c.Parent != "" && !out.Has(c.Parent) {
+				if _, known := union[c.Parent]; known {
+					next = append(next, id)
+					continue
+				}
+				c.Parent = "" // orphan: promote to root
+			}
+			_ = out.Add(c)
+			placed++
+		}
+		if placed == 0 {
+			// Cycle among remaining codes: break it by promoting all to
+			// roots deterministically.
+			for _, id := range next {
+				c := union[id]
+				c.Parent = ""
+				_ = out.Add(c)
+			}
+			break
+		}
+		ids = next
+	}
+	return out
+}

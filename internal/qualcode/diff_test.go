@@ -1,0 +1,87 @@
+package qualcode
+
+import (
+	"strings"
+	"testing"
+)
+
+func cbFrom(t *testing.T, codes ...Code) *Codebook {
+	t.Helper()
+	cb := NewCodebook()
+	for _, c := range codes {
+		if err := cb.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cb
+}
+
+func TestDiffCodebooks(t *testing.T) {
+	old := cbFrom(t,
+		Code{ID: "a", Definition: "old def"},
+		Code{ID: "b"},
+		Code{ID: "c", Parent: "a"},
+		Code{ID: "gone"},
+	)
+	new_ := cbFrom(t,
+		Code{ID: "a", Definition: "new def"},
+		Code{ID: "b"},
+		Code{ID: "c"}, // moved to root
+		Code{ID: "fresh"},
+	)
+	d := DiffCodebooks(old, new_)
+	if strings.Join(d.Added, ",") != "fresh" {
+		t.Errorf("added = %v", d.Added)
+	}
+	if strings.Join(d.Removed, ",") != "gone" {
+		t.Errorf("removed = %v", d.Removed)
+	}
+	if strings.Join(d.Redefined, ",") != "a" {
+		t.Errorf("redefined = %v", d.Redefined)
+	}
+	if strings.Join(d.Moved, ",") != "c" {
+		t.Errorf("moved = %v", d.Moved)
+	}
+	if d.Empty() {
+		t.Error("diff should not be empty")
+	}
+	if !DiffCodebooks(old, old).Empty() {
+		t.Error("self diff should be empty")
+	}
+}
+
+func TestMergeCodebooksPreferredWins(t *testing.T) {
+	a := cbFrom(t, Code{ID: "x", Definition: "A's x"}, Code{ID: "onlyA"})
+	b := cbFrom(t, Code{ID: "x", Definition: "B's x"}, Code{ID: "onlyB"})
+	m := MergeCodebooks(a, b)
+	if m.Len() != 3 {
+		t.Fatalf("merged size = %d", m.Len())
+	}
+	got, _ := m.Get("x")
+	if got.Definition != "A's x" {
+		t.Errorf("conflict resolution wrong: %q", got.Definition)
+	}
+	if !m.Has("onlyA") || !m.Has("onlyB") {
+		t.Error("union incomplete")
+	}
+}
+
+func TestMergeCodebooksHierarchy(t *testing.T) {
+	a := cbFrom(t, Code{ID: "parent"}, Code{ID: "child", Parent: "parent"})
+	b := cbFrom(t, Code{ID: "parent"}, Code{ID: "zchild2", Parent: "parent"})
+	m := MergeCodebooks(a, b)
+	if m.Depth("child") != 1 || m.Depth("zchild2") != 1 {
+		t.Errorf("hierarchy lost: depths %d/%d", m.Depth("child"), m.Depth("zchild2"))
+	}
+}
+
+func TestMergeCodebooksIdempotent(t *testing.T) {
+	a := cbFrom(t, Code{ID: "p"}, Code{ID: "c", Parent: "p", Definition: "d"})
+	m := MergeCodebooks(a, a)
+	if m.Len() != 2 || m.Depth("c") != 1 {
+		t.Errorf("self-merge wrong: len=%d depth=%d", m.Len(), m.Depth("c"))
+	}
+	if !DiffCodebooks(a, m).Empty() {
+		t.Error("self-merge changed the codebook")
+	}
+}

@@ -1,0 +1,31 @@
+package qualcode
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzReadFrom(f *testing.F) {
+	f.Add(`{"codes":[{"ID":"x"}],"documents":[{"ID":"d","Segments":[{"ID":0}]}],"annotations":[]}`)
+	f.Add(`{}`)
+	f.Add(`{"codes":[{"ID":"a","Parent":"b"},{"ID":"b"}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"codes":[{"ID":"a","Parent":"a"}]}`)
+	f.Add(`{"annotations":[{"DocID":"ghost","SegmentID":1,"CodeID":"x","Coder":"c"}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		// Must never panic; on success the project must be internally
+		// consistent (every annotation resolvable).
+		p, err := ReadFrom(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, a := range p.Annotations() {
+			if !p.Codebook.Has(a.CodeID) {
+				t.Fatalf("imported annotation with unknown code %q", a.CodeID)
+			}
+			if _, ok := p.Document(a.DocID); !ok {
+				t.Fatalf("imported annotation with unknown doc %q", a.DocID)
+			}
+		}
+	})
+}

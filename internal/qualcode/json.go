@@ -1,0 +1,92 @@
+package qualcode
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ProjectJSON is the on-disk interchange format for a coding project: the
+// codebook, documents, and annotations a team would exchange or archive
+// alongside a paper (the "research artifact" of §5.2).
+type ProjectJSON struct {
+	Codes       []Code       `json:"codes"`
+	Documents   []Document   `json:"documents"`
+	Annotations []Annotation `json:"annotations"`
+	Memos       []Memo       `json:"memos,omitempty"`
+}
+
+// Export serializes the project.
+func (p *Project) Export() ProjectJSON {
+	out := ProjectJSON{Annotations: p.Annotations()}
+	for _, id := range p.Codebook.IDs() {
+		c, _ := p.Codebook.Get(id)
+		out.Codes = append(out.Codes, c)
+	}
+	for _, id := range p.DocumentIDs() {
+		d, _ := p.Document(id)
+		out.Documents = append(out.Documents, d)
+	}
+	out.Memos = p.Memos("")
+	return out
+}
+
+// WriteJSON writes the project as indented JSON.
+func (p *Project) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.Export())
+}
+
+// Import reconstructs a project from its interchange form, validating every
+// reference. Codes must be ordered so parents precede children (Export
+// emits IDs sorted; for hierarchies whose parent IDs do not sort before
+// their children, Import retries placement until it converges).
+func Import(pj ProjectJSON) (*Project, error) {
+	cb := NewCodebook()
+	pending := append([]Code(nil), pj.Codes...)
+	for len(pending) > 0 {
+		placed := 0
+		var next []Code
+		for _, c := range pending {
+			if c.Parent == "" || cb.Has(c.Parent) {
+				if err := cb.Add(c); err != nil {
+					return nil, err
+				}
+				placed++
+			} else {
+				next = append(next, c)
+			}
+		}
+		if placed == 0 {
+			return nil, fmt.Errorf("qualcode: unresolvable code parents (cycle or missing): %d left", len(next))
+		}
+		pending = next
+	}
+	p := NewProject(cb)
+	for _, d := range pj.Documents {
+		if err := p.AddDocument(d); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range pj.Annotations {
+		if err := p.Annotate(a); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range pj.Memos {
+		if _, err := p.AddMemo(m); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// ReadFrom parses a project from JSON.
+func ReadFrom(r io.Reader) (*Project, error) {
+	var pj ProjectJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return nil, fmt.Errorf("qualcode: decode: %w", err)
+	}
+	return Import(pj)
+}

@@ -1,0 +1,118 @@
+package qualcode
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	cfg := SynthConfig{Docs: 3, SegsPerDoc: 5}
+	p, truth, err := GenerateCorpus(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := SimulatedCoder{Name: "c1", Accuracy: 0.9}
+	if err := sc.CodeProject(p, truth, cfg, rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Codebook.Len() != p.Codebook.Len() {
+		t.Errorf("codebook size %d vs %d", p2.Codebook.Len(), p.Codebook.Len())
+	}
+	if len(p2.DocumentIDs()) != len(p.DocumentIDs()) {
+		t.Errorf("documents differ")
+	}
+	if len(p2.Annotations()) != len(p.Annotations()) {
+		t.Errorf("annotations %d vs %d", len(p2.Annotations()), len(p.Annotations()))
+	}
+	// Reliability statistics must survive the round trip exactly.
+	for _, docID := range p.DocumentIDs() {
+		d, _ := p.Document(docID)
+		for _, s := range d.Segments {
+			a := p.CodesFor(docID, s.ID, "c1")
+			b := p2.CodesFor(docID, s.ID, "c1")
+			if strings.Join(a, ",") != strings.Join(b, ",") {
+				t.Fatalf("codes differ at %s/%d", docID, s.ID)
+			}
+		}
+	}
+}
+
+func TestImportHierarchyOutOfOrder(t *testing.T) {
+	pj := ProjectJSON{
+		Codes: []Code{
+			{ID: "zchild", Parent: "aparent"},
+			{ID: "aparent"},
+		},
+		Documents: []Document{{ID: "d", Segments: []Segment{{ID: 0}}}},
+	}
+	p, err := Import(pj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Codebook.Depth("zchild") != 1 {
+		t.Error("hierarchy not reconstructed")
+	}
+}
+
+func TestImportRejectsCycle(t *testing.T) {
+	pj := ProjectJSON{
+		Codes: []Code{
+			{ID: "a", Parent: "b"},
+			{ID: "b", Parent: "a"},
+		},
+	}
+	if _, err := Import(pj); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestImportRejectsBadAnnotation(t *testing.T) {
+	pj := ProjectJSON{
+		Codes:       []Code{{ID: "x"}},
+		Documents:   []Document{{ID: "d", Segments: []Segment{{ID: 0}}}},
+		Annotations: []Annotation{{DocID: "d", SegmentID: 5, CodeID: "x", Coder: "c"}},
+	}
+	if _, err := Import(pj); err == nil {
+		t.Error("dangling annotation accepted")
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestMemosSurviveRoundTrip(t *testing.T) {
+	p := newTestProject(t)
+	if _, err := p.AddMemo(Memo{
+		Author: "lead", Text: "insight", Codes: []string{"x"},
+		Segments: []SegmentRef{{DocID: "d1", SegmentID: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memos := p2.Memos("")
+	if len(memos) != 1 || memos[0].Text != "insight" || len(memos[0].Segments) != 1 {
+		t.Errorf("memos = %+v", memos)
+	}
+}

@@ -1,0 +1,100 @@
+package qualcode
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Memo is an analytic note — the grounded-theory practice of writing down
+// emerging interpretations and linking them to the codes and segments that
+// prompted them. Memos are how "informal, personal, and ad-hoc" insight
+// (§5.2) is kept analyzable instead of lost.
+type Memo struct {
+	ID     int
+	Author string
+	Text   string
+	// Codes this memo interprets (must exist in the codebook).
+	Codes []string
+	// Segments this memo cites, as (DocID, SegmentID) pairs.
+	Segments []SegmentRef
+}
+
+// SegmentRef points at one segment.
+type SegmentRef struct {
+	DocID     string
+	SegmentID int
+}
+
+// AddMemo validates and stores a memo, returning its assigned ID.
+func (p *Project) AddMemo(m Memo) (int, error) {
+	if m.Author == "" || m.Text == "" {
+		return 0, fmt.Errorf("qualcode: memo needs an author and text")
+	}
+	for _, c := range m.Codes {
+		if !p.Codebook.Has(c) {
+			return 0, fmt.Errorf("%w: %s in memo", ErrUnknownCode, c)
+		}
+	}
+	for _, ref := range m.Segments {
+		d, ok := p.docs[ref.DocID]
+		if !ok {
+			return 0, fmt.Errorf("qualcode: memo cites unknown document %s", ref.DocID)
+		}
+		found := false
+		for _, s := range d.Segments {
+			if s.ID == ref.SegmentID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("qualcode: memo cites unknown segment %s/%d", ref.DocID, ref.SegmentID)
+		}
+	}
+	m.ID = len(p.memos)
+	p.memos = append(p.memos, m)
+	return m.ID, nil
+}
+
+// Memos returns all memos, optionally filtered to those touching codeID
+// ("" for all).
+func (p *Project) Memos(codeID string) []Memo {
+	var out []Memo
+	for _, m := range p.memos {
+		if codeID == "" {
+			out = append(out, m)
+			continue
+		}
+		for _, c := range m.Codes {
+			if c == codeID {
+				out = append(out, m)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MemoTrail renders the memos for a code in ID order as a Markdown
+// fragment, with their cited evidence — the audit trail from data to
+// interpretation.
+func (p *Project) MemoTrail(codeID string) string {
+	memos := p.Memos(codeID)
+	if len(memos) == 0 {
+		return fmt.Sprintf("No memos for %q.\n", codeID)
+	}
+	sort.Slice(memos, func(i, j int) bool { return memos[i].ID < memos[j].ID })
+	out := fmt.Sprintf("### Memo trail: %s\n\n", codeID)
+	for _, m := range memos {
+		out += fmt.Sprintf("- **memo %d** (%s): %s\n", m.ID, m.Author, m.Text)
+		for _, ref := range m.Segments {
+			d := p.docs[ref.DocID]
+			for _, s := range d.Segments {
+				if s.ID == ref.SegmentID {
+					out += fmt.Sprintf("  - evidence [%s/%d]: %q\n", ref.DocID, ref.SegmentID, s.Text)
+				}
+			}
+		}
+	}
+	return out
+}

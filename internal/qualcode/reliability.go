@@ -1,0 +1,200 @@
+package qualcode
+
+import (
+	"math"
+)
+
+// CohenKappa returns Cohen's kappa for two coders on the binary decision
+// "did the coder apply codeID to the segment", over every segment in the
+// project. Returns NaN when there are no units or when both marginals are
+// degenerate in the same direction (no disagreement possible).
+func (p *Project) CohenKappa(coder1, coder2, codeID string) float64 {
+	units := p.units()
+	n := len(units)
+	if n == 0 {
+		return math.NaN()
+	}
+	var both, only1, only2, neither float64
+	for _, u := range units {
+		a := p.index[u.doc][u.seg][coder1][codeID]
+		b := p.index[u.doc][u.seg][coder2][codeID]
+		switch {
+		case a && b:
+			both++
+		case a:
+			only1++
+		case b:
+			only2++
+		default:
+			neither++
+		}
+	}
+	nf := float64(n)
+	po := (both + neither) / nf
+	pYes1 := (both + only1) / nf
+	pYes2 := (both + only2) / nf
+	pe := pYes1*pYes2 + (1-pYes1)*(1-pYes2)
+	if pe == 1 {
+		if po == 1 {
+			return 1
+		}
+		return math.NaN()
+	}
+	return (po - pe) / (1 - pe)
+}
+
+// MeanPairwiseKappa averages CohenKappa over all coder pairs and all codes
+// in the codebook, skipping NaN cells. Returns NaN when nothing is
+// computable.
+func (p *Project) MeanPairwiseKappa() float64 {
+	coders := p.Coders()
+	codes := p.Codebook.IDs()
+	var sum float64
+	var cnt int
+	for i := 0; i < len(coders); i++ {
+		for j := i + 1; j < len(coders); j++ {
+			for _, code := range codes {
+				k := p.CohenKappa(coders[i], coders[j], code)
+				if !math.IsNaN(k) {
+					sum += k
+					cnt++
+				}
+			}
+		}
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return sum / float64(cnt)
+}
+
+// FleissKappa returns Fleiss' kappa over all coders for the binary decision
+// "code applied to segment", treating each segment as a subject rated by
+// every coder. Returns NaN with fewer than two coders or no units.
+func (p *Project) FleissKappa(codeID string) float64 {
+	coders := p.Coders()
+	m := len(coders)
+	units := p.units()
+	if m < 2 || len(units) == 0 {
+		return math.NaN()
+	}
+	mf := float64(m)
+	var sumPi, totalYes float64
+	for _, u := range units {
+		yes := 0.0
+		for _, c := range coders {
+			if p.index[u.doc][u.seg][c][codeID] {
+				yes++
+			}
+		}
+		no := mf - yes
+		pi := (yes*(yes-1) + no*(no-1)) / (mf * (mf - 1))
+		sumPi += pi
+		totalYes += yes
+	}
+	nf := float64(len(units))
+	pBar := sumPi / nf
+	pYes := totalYes / (nf * mf)
+	peBar := pYes*pYes + (1-pYes)*(1-pYes)
+	if peBar == 1 {
+		if pBar == 1 {
+			return 1
+		}
+		return math.NaN()
+	}
+	return (pBar - peBar) / (1 - peBar)
+}
+
+// KrippendorffAlpha computes Krippendorff's alpha for nominal data where
+// each coder assigns at most one primary code per segment (the first code in
+// sorted order is used when a coder applied several). Segments with fewer
+// than two ratings are ignored, which is alpha's standard missing-data
+// handling. Returns NaN when no unit has two ratings.
+func (p *Project) KrippendorffAlpha() float64 {
+	coders := p.Coders()
+	units := p.units()
+
+	// values[u] = multiset of nominal values for unit u.
+	var valueSets [][]string
+	for _, u := range units {
+		var vals []string
+		for _, c := range coders {
+			codes := p.CodesFor(u.doc, u.seg, c)
+			if len(codes) > 0 {
+				vals = append(vals, codes[0])
+			}
+		}
+		if len(vals) >= 2 {
+			valueSets = append(valueSets, vals)
+		}
+	}
+	if len(valueSets) == 0 {
+		return math.NaN()
+	}
+
+	// Observed disagreement: within-unit pairs with different values,
+	// weighted per Krippendorff (each unit contributes pairs/(m_u - 1)).
+	var do, totalPairsNorm float64
+	freq := make(map[string]float64)
+	var totalValues float64
+	for _, vals := range valueSets {
+		mu := float64(len(vals))
+		disagree := 0.0
+		for i := 0; i < len(vals); i++ {
+			freq[vals[i]]++
+			totalValues++
+			for j := 0; j < len(vals); j++ {
+				if i != j && vals[i] != vals[j] {
+					disagree++
+				}
+			}
+		}
+		do += disagree / (mu - 1)
+		totalPairsNorm += mu
+	}
+	do /= totalPairsNorm
+
+	// Expected disagreement from pooled value frequencies.
+	if totalValues < 2 {
+		return math.NaN()
+	}
+	var same float64
+	for _, f := range freq {
+		same += f * (f - 1)
+	}
+	de := 1 - same/(totalValues*(totalValues-1))
+	if de == 0 {
+		if do == 0 {
+			return 1
+		}
+		return math.NaN()
+	}
+	return 1 - do/de
+}
+
+// PercentAgreement returns the raw fraction of segments on which the two
+// coders' full code sets are identical.
+func (p *Project) PercentAgreement(coder1, coder2 string) float64 {
+	units := p.units()
+	if len(units) == 0 {
+		return math.NaN()
+	}
+	agree := 0
+	for _, u := range units {
+		a := p.CodesFor(u.doc, u.seg, coder1)
+		b := p.CodesFor(u.doc, u.seg, coder2)
+		if len(a) == len(b) {
+			same := true
+			for i := range a {
+				if a[i] != b[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				agree++
+			}
+		}
+	}
+	return float64(agree) / float64(len(units))
+}

@@ -1,0 +1,131 @@
+package standards
+
+import (
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestRunProducesRFCs(t *testing.T) {
+	res, err := Run(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RFCs == 0 {
+		t.Fatal("no RFCs produced")
+	}
+	if res.RFCs+res.Abandoned != DefaultConfig().Drafts {
+		t.Errorf("accounting: %d RFCs + %d abandoned != %d drafts",
+			res.RFCs, res.Abandoned, DefaultConfig().Drafts)
+	}
+	if res.MeanRoundsToRFC <= 0 {
+		t.Errorf("rounds to RFC = %g", res.MeanRoundsToRFC)
+	}
+	if res.DeploymentShare <= 0 || res.DeploymentShare > 1 {
+		t.Errorf("deployment share = %g", res.DeploymentShare)
+	}
+}
+
+func TestPractitionersRaiseFitAndDeployment(t *testing.T) {
+	low := DefaultConfig()
+	low.PractitionerShare = 0.05
+	high := DefaultConfig()
+	high.PractitionerShare = 0.6
+
+	lowRes, err := Run(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	highRes, err := Run(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(highRes.MeanFinalFit > lowRes.MeanFinalFit+0.1) {
+		t.Errorf("fit: practitioner-rich %g should clearly beat poor %g",
+			highRes.MeanFinalFit, lowRes.MeanFinalFit)
+	}
+	if !(highRes.MeanDeploymentPerRFC > lowRes.MeanDeploymentPerRFC) {
+		t.Errorf("deployment per RFC: %g should beat %g",
+			highRes.MeanDeploymentPerRFC, lowRes.MeanDeploymentPerRFC)
+	}
+}
+
+func TestClosedProcessFastButNarrow(t *testing.T) {
+	open := DefaultConfig()
+	open.PractitionerShare = 0.4
+	closed := DefaultConfig()
+	closed.Closed = true
+
+	openRes, err := Run(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closedRes, err := Run(closed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The consortium standardizes faster...
+	if !(closedRes.MeanRoundsToRFC < openRes.MeanRoundsToRFC) {
+		t.Errorf("closed rounds %g should be below open %g",
+			closedRes.MeanRoundsToRFC, openRes.MeanRoundsToRFC)
+	}
+	// ...but deployment is capped by the consortium's reach.
+	if !(closedRes.DeploymentShare <= closed.ConsortiumShare+1e-9) {
+		t.Errorf("closed deployment %g exceeds consortium share %g",
+			closedRes.DeploymentShare, closed.ConsortiumShare)
+	}
+	if !(openRes.DeploymentShare > 2*closedRes.DeploymentShare) {
+		t.Errorf("open deployment %g should dwarf closed %g",
+			openRes.DeploymentShare, closedRes.DeploymentShare)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	shares := []float64{0, 0.15, 0.3, 0.45, 0.6}
+	rows, err := Sweep(shares, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(shares)+1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !rows[len(rows)-1].Closed {
+		t.Error("last row should be the closed counterfactual")
+	}
+	first, last := rows[0], rows[len(shares)-1]
+	if !(last.MeanFinalFit > first.MeanFinalFit) {
+		t.Errorf("fit should rise with practitioner share: %g -> %g",
+			first.MeanFinalFit, last.MeanFinalFit)
+	}
+	if !(last.MeanDeployPerRFC > first.MeanDeployPerRFC) {
+		t.Errorf("per-RFC deployment should rise with practitioner share: %g -> %g",
+			first.MeanDeployPerRFC, last.MeanDeployPerRFC)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, _ := Run(DefaultConfig())
+	b, _ := Run(DefaultConfig())
+	if a != b {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Individual.String() != "individual" || RFC.String() != "rfc" || Abandoned.String() != "abandoned" {
+		t.Error("state strings wrong")
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,445 @@
+// Package stats provides the descriptive and inferential statistics used by
+// the humnet experiments: moments, quantiles, correlation, inequality and
+// fairness indices, bootstrap confidence intervals, and simple regression.
+//
+// All functions are pure and operate on float64 slices. Functions that
+// require non-empty input document that requirement and return NaN (never
+// panic) when it is violated, so that callers composing pipelines can
+// propagate missing data explicitly.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the unbiased sample variance of xs, or NaN for fewer than
+// two observations.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs, or NaN if empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN if empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the R default). Returns NaN
+// for empty input or q outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Pearson returns the Pearson correlation coefficient between xs and ys, or
+// NaN if lengths differ, are < 2, or either side has zero variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// ranks returns mid-ranks (ties get the average rank), 1-based.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	r := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// Spearman returns the Spearman rank correlation between xs and ys.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// Gini returns the Gini coefficient of xs (0 = perfect equality, →1 =
+// concentration). Values must be non-negative; returns NaN for empty input or
+// an all-zero vector.
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var cum, total float64
+	for i, x := range s {
+		cum += x * float64(i+1)
+		total += x
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	nf := float64(n)
+	return (2*cum)/(nf*total) - (nf+1)/nf
+}
+
+// Jain returns Jain's fairness index of xs: (sum x)^2 / (n * sum x^2).
+// 1 means perfectly fair; 1/n means maximally unfair. Returns NaN for empty
+// or all-zero input.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s, sq float64
+	for _, x := range xs {
+		s += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return math.NaN()
+	}
+	return s * s / (float64(len(xs)) * sq)
+}
+
+// Theil returns the Theil-T inequality index of xs (0 = equality). Values
+// must be positive; non-positive entries are skipped. Returns NaN if no
+// positive entries remain.
+func Theil(xs []float64) float64 {
+	var pos []float64
+	for _, x := range xs {
+		if x > 0 {
+			pos = append(pos, x)
+		}
+	}
+	if len(pos) == 0 {
+		return math.NaN()
+	}
+	m := Mean(pos)
+	t := 0.0
+	for _, x := range pos {
+		t += (x / m) * math.Log(x/m)
+	}
+	return t / float64(len(pos))
+}
+
+// TopKShare returns the fraction of the total held by the k largest entries.
+// Returns NaN for empty input, 1 if k >= len(xs), and NaN if total is 0.
+func TopKShare(xs []float64, k int) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if k <= 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	total := Sum(s)
+	if total == 0 {
+		return math.NaN()
+	}
+	if k > len(s) {
+		k = len(s)
+	}
+	return Sum(s[:k]) / total
+}
+
+// Histogram bins xs into nbins equal-width bins over [min, max] and returns
+// counts. Values exactly at max land in the last bin. Returns nil for empty
+// input or nbins <= 0.
+func Histogram(xs []float64, nbins int) []int {
+	if len(xs) == 0 || nbins <= 0 {
+		return nil
+	}
+	lo, hi := Min(xs), Max(xs)
+	counts := make([]int, nbins)
+	if hi == lo {
+		counts[0] = len(xs)
+		return counts
+	}
+	w := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// ChiSquare returns the chi-square statistic for observed vs expected counts.
+// Expected entries must be positive; pairs with expected <= 0 are skipped.
+func ChiSquare(observed, expected []float64) float64 {
+	n := len(observed)
+	if len(expected) < n {
+		n = len(expected)
+	}
+	stat := 0.0
+	for i := 0; i < n; i++ {
+		if expected[i] <= 0 {
+			continue
+		}
+		d := observed[i] - expected[i]
+		stat += d * d / expected[i]
+	}
+	return stat
+}
+
+// LinearFit fits y = a + b*x by ordinary least squares and returns the
+// intercept a, slope b, and coefficient of determination r2. Returns NaNs for
+// fewer than two points or zero x-variance.
+func LinearFit(xs, ys []float64) (a, b, r2 float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		return a, b, 1
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return a, b, r2
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for the
+// statistic fn over xs at the given confidence level (e.g. 0.95), using
+// nresamples resamples drawn with r. Returns NaNs for empty input.
+func BootstrapCI(xs []float64, fn func([]float64) float64, nresamples int, level float64, r *rng.Rand) (lo, hi float64) {
+	if len(xs) == 0 || nresamples <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	est := make([]float64, nresamples)
+	buf := make([]float64, len(xs))
+	for i := 0; i < nresamples; i++ {
+		for j := range buf {
+			buf[j] = xs[r.Intn(len(xs))]
+		}
+		est[i] = fn(buf)
+	}
+	alpha := (1 - level) / 2
+	return Quantile(est, alpha), Quantile(est, 1-alpha)
+}
+
+// Summary captures the standard five-number-plus summary of a sample.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, P25      float64
+	Median        float64
+	P75, P95, Max float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    StdDev(xs),
+		Min:    Min(xs),
+		P25:    Quantile(xs, 0.25),
+		Median: Median(xs),
+		P75:    Quantile(xs, 0.75),
+		P95:    Quantile(xs, 0.95),
+		Max:    Max(xs),
+	}
+}
+
+// Cronbach returns Cronbach's alpha for an item matrix: items[i][j] is
+// respondent j's score on item i. All items must have the same number of
+// respondents (>= 2) and there must be >= 2 items; otherwise NaN. Alpha is
+// the standard internal-consistency reliability of a multi-item scale.
+func Cronbach(items [][]float64) float64 {
+	k := len(items)
+	if k < 2 {
+		return math.NaN()
+	}
+	n := len(items[0])
+	if n < 2 {
+		return math.NaN()
+	}
+	for _, it := range items {
+		if len(it) != n {
+			return math.NaN()
+		}
+	}
+	totals := make([]float64, n)
+	var itemVarSum float64
+	for _, it := range items {
+		itemVarSum += Variance(it)
+		for j, v := range it {
+			totals[j] += v
+		}
+	}
+	totalVar := Variance(totals)
+	if totalVar == 0 {
+		return math.NaN()
+	}
+	return float64(k) / float64(k-1) * (1 - itemVarSum/totalVar)
+}
+
+// MannWhitneyU returns the Mann–Whitney U statistic for sample xs against
+// ys and the normal-approximation z-score (positive z means xs tends to
+// exceed ys). NaNs for empty samples. Ties are handled with mid-ranks; the
+// z-score uses the no-ties variance, adequate for the continuous synthetic
+// data in this repository.
+func MannWhitneyU(xs, ys []float64) (u, z float64) {
+	n1, n2 := float64(len(xs)), float64(len(ys))
+	if n1 == 0 || n2 == 0 {
+		return math.NaN(), math.NaN()
+	}
+	combined := make([]float64, 0, len(xs)+len(ys))
+	combined = append(combined, xs...)
+	combined = append(combined, ys...)
+	r := ranks(combined)
+	var r1 float64
+	for i := range xs {
+		r1 += r[i]
+	}
+	u = r1 - n1*(n1+1)/2
+	mu := n1 * n2 / 2
+	sigma := math.Sqrt(n1 * n2 * (n1 + n2 + 1) / 12)
+	if sigma == 0 {
+		return u, math.NaN()
+	}
+	z = (u - mu) / sigma
+	return u, z
+}
+
+// KolmogorovSmirnov returns the two-sample KS statistic D — the maximum
+// distance between the empirical CDFs of xs and ys. NaN for empty samples.
+func KolmogorovSmirnov(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(ys) == 0 {
+		return math.NaN()
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var i, j int
+	var d float64
+	for i < len(a) && j < len(b) {
+		// Advance both CDFs past the next value so ties step together.
+		v := math.Min(a[i], b[j])
+		for i < len(a) && a[i] == v {
+			i++
+		}
+		for j < len(b) && b[j] == v {
+			j++
+		}
+		fa := float64(i) / float64(len(a))
+		fb := float64(j) / float64(len(b))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}

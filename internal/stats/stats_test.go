@@ -1,0 +1,410 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4.571428571, 1e-6) {
+		t.Errorf("Variance = %g", got)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single value should be NaN")
+	}
+	if got := StdDev(xs); !almostEq(got, math.Sqrt(4.571428571), 1e-6) {
+		t.Errorf("StdDev = %g", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("Min/Max of empty should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); !almostEq(got, 1.5, 1e-9) {
+		t.Errorf("interpolated median = %g, want 1.5", got)
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) {
+		t.Error("out-of-range q should be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Errorf("single-element quantile = %g", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); !almostEq(got, 1, 1e-9) {
+		t.Errorf("perfect correlation = %g", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almostEq(got, -1, 1e-9) {
+		t.Errorf("perfect anticorrelation = %g", got)
+	}
+	flat := []float64{1, 1, 1, 1, 1}
+	if !math.IsNaN(Pearson(xs, flat)) {
+		t.Error("zero-variance correlation should be NaN")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125} // monotone but nonlinear
+	if got := Spearman(xs, ys); !almostEq(got, 1, 1e-9) {
+		t.Errorf("Spearman of monotone = %g, want 1", got)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{1, 2, 2, 3}
+	if got := Spearman(xs, ys); !almostEq(got, 1, 1e-9) {
+		t.Errorf("Spearman with ties = %g, want 1", got)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if got := Gini([]float64{1, 1, 1, 1}); !almostEq(got, 0, 1e-9) {
+		t.Errorf("equal Gini = %g, want 0", got)
+	}
+	// One person owns everything among n=4: Gini = (n-1)/n = 0.75.
+	if got := Gini([]float64{0, 0, 0, 10}); !almostEq(got, 0.75, 1e-9) {
+		t.Errorf("concentrated Gini = %g, want 0.75", got)
+	}
+	if !math.IsNaN(Gini(nil)) || !math.IsNaN(Gini([]float64{0, 0})) {
+		t.Error("degenerate Gini should be NaN")
+	}
+}
+
+func TestJain(t *testing.T) {
+	if got := Jain([]float64{5, 5, 5}); !almostEq(got, 1, 1e-9) {
+		t.Errorf("fair Jain = %g, want 1", got)
+	}
+	if got := Jain([]float64{1, 0, 0, 0}); !almostEq(got, 0.25, 1e-9) {
+		t.Errorf("unfair Jain = %g, want 0.25", got)
+	}
+}
+
+func TestTheil(t *testing.T) {
+	if got := Theil([]float64{2, 2, 2}); !almostEq(got, 0, 1e-9) {
+		t.Errorf("equal Theil = %g, want 0", got)
+	}
+	if Theil([]float64{1, 100}) <= 0 {
+		t.Error("unequal Theil should be positive")
+	}
+	if !math.IsNaN(Theil([]float64{0, -1})) {
+		t.Error("no positive entries should yield NaN")
+	}
+}
+
+func TestTopKShare(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := TopKShare(xs, 1); !almostEq(got, 0.4, 1e-9) {
+		t.Errorf("top-1 share = %g, want 0.4", got)
+	}
+	if got := TopKShare(xs, 10); !almostEq(got, 1, 1e-9) {
+		t.Errorf("top-10 of 4 = %g, want 1", got)
+	}
+	if got := TopKShare(xs, 0); got != 0 {
+		t.Errorf("top-0 = %g, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h := Histogram(xs, 5)
+	for i, c := range h {
+		if c != 2 {
+			t.Errorf("bin %d = %d, want 2", i, c)
+		}
+	}
+	same := Histogram([]float64{3, 3, 3}, 4)
+	if same[0] != 3 {
+		t.Errorf("constant data should land in first bin, got %v", same)
+	}
+	if Histogram(nil, 3) != nil {
+		t.Error("empty histogram should be nil")
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	obs := []float64{10, 20, 30}
+	if got := ChiSquare(obs, obs); got != 0 {
+		t.Errorf("identical chi-square = %g, want 0", got)
+	}
+	got := ChiSquare([]float64{12, 18}, []float64{15, 15})
+	if !almostEq(got, 9.0/15+9.0/15, 1e-9) {
+		t.Errorf("chi-square = %g", got)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b, r2 := LinearFit(xs, ys)
+	if !almostEq(a, 1, 1e-9) || !almostEq(b, 2, 1e-9) || !almostEq(r2, 1, 1e-9) {
+		t.Errorf("fit = (%g, %g, %g), want (1, 2, 1)", a, b, r2)
+	}
+}
+
+func TestBootstrapCIContainsMean(t *testing.T) {
+	r := rng.New(7)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.NormFloat64() + 10
+	}
+	lo, hi := BootstrapCI(xs, Mean, 500, 0.95, r)
+	m := Mean(xs)
+	if !(lo < m && m < hi) {
+		t.Errorf("95%% CI [%g, %g] should contain the sample mean %g", lo, hi, m)
+	}
+	if hi-lo > 0.5 {
+		t.Errorf("CI [%g, %g] too wide for n=500", lo, hi)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestQuickJainBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		anyPos := false
+		for i, v := range raw {
+			xs[i] = float64(v)
+			if v > 0 {
+				anyPos = true
+			}
+		}
+		if !anyPos {
+			return true
+		}
+		j := Jain(xs)
+		n := float64(len(xs))
+		return j >= 1/n-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGiniBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		anyPos := false
+		for i, v := range raw {
+			xs[i] = float64(v)
+			if v > 0 {
+				anyPos = true
+			}
+		}
+		if !anyPos {
+			return true
+		}
+		g := Gini(xs)
+		return g >= -1e-9 && g <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		return Quantile(xs, 0.25) <= Quantile(xs, 0.75)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGini(b *testing.B) {
+	r := rng.New(1)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.Pareto(1, 1.2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Gini(xs)
+	}
+}
+
+func TestCronbachParallelItems(t *testing.T) {
+	// Items = latent trait + small independent noise → high alpha.
+	r := rng.New(55)
+	const n = 400
+	latent := make([]float64, n)
+	for j := range latent {
+		latent[j] = r.NormFloat64()
+	}
+	items := make([][]float64, 4)
+	for i := range items {
+		items[i] = make([]float64, n)
+		for j := range items[i] {
+			items[i][j] = latent[j] + 0.3*r.NormFloat64()
+		}
+	}
+	if a := Cronbach(items); a < 0.85 {
+		t.Errorf("parallel-items alpha = %g, want high", a)
+	}
+}
+
+func TestCronbachIndependentItems(t *testing.T) {
+	r := rng.New(56)
+	const n = 400
+	items := make([][]float64, 4)
+	for i := range items {
+		items[i] = make([]float64, n)
+		for j := range items[i] {
+			items[i][j] = r.NormFloat64()
+		}
+	}
+	a := Cronbach(items)
+	if a > 0.3 {
+		t.Errorf("independent-items alpha = %g, want near 0", a)
+	}
+}
+
+func TestCronbachDegenerate(t *testing.T) {
+	if !math.IsNaN(Cronbach(nil)) {
+		t.Error("nil should be NaN")
+	}
+	if !math.IsNaN(Cronbach([][]float64{{1, 2}})) {
+		t.Error("single item should be NaN")
+	}
+	if !math.IsNaN(Cronbach([][]float64{{1, 2}, {1}})) {
+		t.Error("ragged matrix should be NaN")
+	}
+	if !math.IsNaN(Cronbach([][]float64{{1, 1}, {2, 2}})) {
+		t.Error("zero total variance should be NaN")
+	}
+}
+
+func TestMannWhitneyShifted(t *testing.T) {
+	r := rng.New(71)
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.NormFloat64() + 1
+		ys[i] = r.NormFloat64()
+	}
+	_, z := MannWhitneyU(xs, ys)
+	if z < 3 {
+		t.Errorf("z = %g, want strongly positive for shifted sample", z)
+	}
+	_, zRev := MannWhitneyU(ys, xs)
+	if zRev > -3 {
+		t.Errorf("reversed z = %g, want strongly negative", zRev)
+	}
+}
+
+func TestMannWhitneyNull(t *testing.T) {
+	r := rng.New(73)
+	xs := make([]float64, 300)
+	ys := make([]float64, 300)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+		ys[i] = r.NormFloat64()
+	}
+	_, z := MannWhitneyU(xs, ys)
+	if math.Abs(z) > 3 {
+		t.Errorf("null z = %g, want near 0", z)
+	}
+}
+
+func TestMannWhitneyDegenerate(t *testing.T) {
+	u, z := MannWhitneyU(nil, []float64{1})
+	if !math.IsNaN(u) || !math.IsNaN(z) {
+		t.Error("empty sample should be NaN")
+	}
+}
+
+func TestKolmogorovSmirnov(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5}
+	if d := KolmogorovSmirnov(same, same); d > 1e-9 {
+		t.Errorf("identical D = %g", d)
+	}
+	disjoint := KolmogorovSmirnov([]float64{1, 2, 3}, []float64{10, 11, 12})
+	if math.Abs(disjoint-1) > 1e-9 {
+		t.Errorf("disjoint D = %g, want 1", disjoint)
+	}
+	if !math.IsNaN(KolmogorovSmirnov(nil, same)) {
+		t.Error("empty KS should be NaN")
+	}
+}
+
+func TestKSDetectsVarianceChange(t *testing.T) {
+	r := rng.New(79)
+	narrow := make([]float64, 400)
+	wide := make([]float64, 400)
+	for i := range narrow {
+		narrow[i] = r.NormFloat64()
+		wide[i] = 3 * r.NormFloat64()
+	}
+	if d := KolmogorovSmirnov(narrow, wide); d < 0.15 {
+		t.Errorf("variance-change D = %g, want detectable", d)
+	}
+}

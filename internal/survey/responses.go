@@ -1,0 +1,77 @@
+package survey
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// LikertResponses simulates respondents answering the instrument's Likert
+// items. Each respondent's answers load on their latent TrueScore with the
+// given loading (0..1); the rest is item-specific noise. Scores are mapped
+// onto each item's 1..Scale points. The result is items × respondents,
+// ready for stats.Cronbach.
+func LikertResponses(pop *Population, respondents []int, ins Instrument, loading float64, r *rng.Rand) ([][]float64, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	if loading < 0 || loading > 1 {
+		return nil, fmt.Errorf("survey: loading %g outside [0,1]", loading)
+	}
+	var likert []Question
+	for _, q := range ins.Questions {
+		if q.Kind == Likert {
+			likert = append(likert, q)
+		}
+	}
+	if len(likert) == 0 {
+		return nil, fmt.Errorf("survey: instrument has no Likert items")
+	}
+	out := make([][]float64, len(likert))
+	for i := range out {
+		out[i] = make([]float64, len(respondents))
+	}
+	// Standardize the latent trait over these respondents so that loading
+	// is the item-trait correlation regardless of how compressed the
+	// sampled strata are.
+	scores := make([]float64, len(respondents))
+	for j, id := range respondents {
+		scores[j] = pop.People[id].TrueScore
+	}
+	mean := stats.Mean(scores)
+	sd := stats.StdDev(scores)
+	noiseSD := math.Sqrt(1 - loading*loading)
+	for j := range respondents {
+		trait := 0.0
+		if sd > 0 && !math.IsNaN(sd) {
+			trait = (scores[j] - mean) / sd
+		}
+		for i, q := range likert {
+			raw := loading*trait + noiseSD*r.NormFloat64()
+			// Map roughly ±2 SD onto the scale.
+			scale := float64(q.Scale)
+			v := (raw + 2) / 4 * (scale - 1)
+			v = math.Round(v) + 1
+			if v < 1 {
+				v = 1
+			}
+			if v > scale {
+				v = scale
+			}
+			out[i][j] = v
+		}
+	}
+	return out, nil
+}
+
+// InstrumentReliability returns Cronbach's alpha of the instrument's Likert
+// items over the given respondents.
+func InstrumentReliability(pop *Population, respondents []int, ins Instrument, loading float64, r *rng.Rand) (float64, error) {
+	items, err := LikertResponses(pop, respondents, ins, loading, r)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return stats.Cronbach(items), nil
+}

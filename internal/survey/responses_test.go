@@ -1,0 +1,99 @@
+package survey
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func likertInstrument(items int) Instrument {
+	ins := Instrument{Title: "attitudes"}
+	for i := 0; i < items; i++ {
+		ins.Questions = append(ins.Questions, Question{
+			ID: string(rune('a' + i)), Text: "item", Kind: Likert, Scale: 5,
+		})
+	}
+	return ins
+}
+
+func respondentsFor(pop *Population, n int) []int {
+	ids := make([]int, 0, n)
+	for i := 0; i < n && i < len(pop.People); i++ {
+		ids = append(ids, i)
+	}
+	return ids
+}
+
+func TestLikertResponsesShapeAndRange(t *testing.T) {
+	r := rng.New(3)
+	pop := SynthPopulation(DefaultStrata(), 3, r.Split())
+	resp := respondentsFor(pop, 200)
+	items, err := LikertResponses(pop, resp, likertInstrument(4), 0.8, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 || len(items[0]) != 200 {
+		t.Fatalf("shape = %dx%d", len(items), len(items[0]))
+	}
+	for _, it := range items {
+		for _, v := range it {
+			if v < 1 || v > 5 || v != math.Round(v) {
+				t.Fatalf("likert value %g out of 1..5", v)
+			}
+		}
+	}
+}
+
+func TestLikertResponsesValidation(t *testing.T) {
+	r := rng.New(5)
+	pop := SynthPopulation(DefaultStrata(), 3, r.Split())
+	resp := respondentsFor(pop, 10)
+	if _, err := LikertResponses(pop, resp, Instrument{}, 0.8, r.Split()); err == nil {
+		t.Error("invalid instrument accepted")
+	}
+	if _, err := LikertResponses(pop, resp, likertInstrument(2), 2, r.Split()); err == nil {
+		t.Error("loading > 1 accepted")
+	}
+	noLikert := Instrument{Questions: []Question{{ID: "q", Kind: FreeText}}}
+	if _, err := LikertResponses(pop, resp, noLikert, 0.5, r.Split()); err == nil {
+		t.Error("instrument without Likert items accepted")
+	}
+}
+
+func TestReliabilityRisesWithLoading(t *testing.T) {
+	r := rng.New(7)
+	pop := SynthPopulation(DefaultStrata(), 3, r.Split())
+	resp := respondentsFor(pop, 400)
+	low, err := InstrumentReliability(pop, resp, likertInstrument(5), 0.2, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := InstrumentReliability(pop, resp, likertInstrument(5), 0.9, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(high > low+0.2) {
+		t.Errorf("alpha should rise with loading: %g vs %g", high, low)
+	}
+	if high < 0.7 {
+		t.Errorf("well-loaded scale alpha = %g, want acceptable (>0.7)", high)
+	}
+}
+
+func TestReliabilityRisesWithItemCount(t *testing.T) {
+	r := rng.New(9)
+	pop := SynthPopulation(DefaultStrata(), 3, r.Split())
+	resp := respondentsFor(pop, 400)
+	few, err := InstrumentReliability(pop, resp, likertInstrument(2), 0.6, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := InstrumentReliability(pop, resp, likertInstrument(8), 0.6, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(many > few) {
+		t.Errorf("alpha should rise with item count (Spearman–Brown): %g vs %g", many, few)
+	}
+}

@@ -1,0 +1,69 @@
+package survey
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// PostStratified is the result of a post-stratification weighting pass: the
+// survey analyst's standard correction for unequal response across known
+// strata. It reweights each respondent by (stratum population share) /
+// (stratum respondent share). Strata with zero respondents cannot be
+// reweighted — their absence is reported, not papered over, because no
+// weighting scheme can restore a voice that never answered.
+type PostStratified struct {
+	// Estimate is the weighted mean over covered strata.
+	Estimate float64
+	// CoveredPopShare is the fraction of the population living in strata
+	// that have at least one respondent.
+	CoveredPopShare float64
+	// UncoveredStrata lists strata with zero respondents.
+	UncoveredStrata []string
+}
+
+// PostStratify computes the weighted estimate. Measurement noise is drawn
+// with r, matching EstimateMean's response model.
+func PostStratify(pop *Population, respondents []int, noise float64, r *rng.Rand) PostStratified {
+	out := PostStratified{Estimate: math.NaN()}
+	if len(respondents) == 0 {
+		for _, s := range pop.Strata() {
+			out.UncoveredStrata = append(out.UncoveredStrata, s)
+		}
+		return out
+	}
+	// Respondent counts and measured sums per stratum.
+	respCount := make(map[string]float64)
+	respSum := make(map[string]float64)
+	for _, id := range respondents {
+		p := pop.People[id]
+		v := p.TrueScore + noise*r.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		respCount[p.Stratum]++
+		respSum[p.Stratum] += v
+	}
+	totalPop := float64(len(pop.People))
+	var est, coveredShare float64
+	for _, s := range pop.Strata() {
+		popShare := float64(len(pop.StratumIDs(s))) / totalPop
+		if respCount[s] == 0 {
+			out.UncoveredStrata = append(out.UncoveredStrata, s)
+			continue
+		}
+		stratumMean := respSum[s] / respCount[s]
+		est += popShare * stratumMean
+		coveredShare += popShare
+	}
+	if coveredShare > 0 {
+		// Normalize over the covered population only; the uncovered share
+		// is reported separately.
+		out.Estimate = est / coveredShare
+	}
+	out.CoveredPopShare = coveredShare
+	return out
+}

@@ -1,0 +1,76 @@
+package survey
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPostStratifyReducesBiasWhenCovered(t *testing.T) {
+	r := rng.New(11)
+	pop := SynthPopulation(DefaultStrata(), 6, r.Split())
+	trueMean := pop.TrueMean()
+
+	// A respondent set that over-represents visible strata but covers all
+	// four: take many hyperscaler/regional and few community/rural members.
+	var respondents []int
+	counts := map[string]int{"hyperscaler-op": 60, "regional-isp": 80, "community-operator": 8, "rural-operator": 5}
+	for s, n := range counts {
+		ids := pop.StratumIDs(s)
+		for i := 0; i < n && i < len(ids); i++ {
+			respondents = append(respondents, ids[i])
+		}
+	}
+
+	raw := EstimateMean(pop, respondents, 0.05, r.Split())
+	ps := PostStratify(pop, respondents, 0.05, r.Split())
+	if len(ps.UncoveredStrata) != 0 {
+		t.Fatalf("uncovered = %v", ps.UncoveredStrata)
+	}
+	if math.Abs(ps.CoveredPopShare-1) > 1e-9 {
+		t.Errorf("covered share = %g", ps.CoveredPopShare)
+	}
+	rawBias := math.Abs(raw - trueMean)
+	psBias := math.Abs(ps.Estimate - trueMean)
+	if !(psBias < rawBias/2) {
+		t.Errorf("weighting bias %g should be far below raw %g", psBias, rawBias)
+	}
+}
+
+func TestPostStratifyCannotFixZeroCoverage(t *testing.T) {
+	r := rng.New(13)
+	pop := SynthPopulation(DefaultStrata(), 6, r.Split())
+
+	// Only visible strata respond.
+	var respondents []int
+	for _, s := range []string{"hyperscaler-op", "regional-isp"} {
+		ids := pop.StratumIDs(s)
+		respondents = append(respondents, ids[:40]...)
+	}
+	ps := PostStratify(pop, respondents, 0.05, r.Split())
+	if len(ps.UncoveredStrata) != 2 {
+		t.Fatalf("uncovered = %v, want the two marginal strata", ps.UncoveredStrata)
+	}
+	if ps.CoveredPopShare >= 0.6 {
+		t.Errorf("covered share = %g, want half the population missing", ps.CoveredPopShare)
+	}
+	// The weighted estimate over covered strata remains far from the true
+	// mean — absence is structural, not a weighting problem.
+	if math.Abs(ps.Estimate-pop.TrueMean()) < 0.1 {
+		t.Errorf("estimate %g suspiciously close to true mean %g despite zero coverage",
+			ps.Estimate, pop.TrueMean())
+	}
+}
+
+func TestPostStratifyEmpty(t *testing.T) {
+	r := rng.New(17)
+	pop := SynthPopulation(DefaultStrata(), 3, r.Split())
+	ps := PostStratify(pop, nil, 0.05, r.Split())
+	if !math.IsNaN(ps.Estimate) {
+		t.Error("empty estimate should be NaN")
+	}
+	if len(ps.UncoveredStrata) != 4 {
+		t.Errorf("uncovered = %v", ps.UncoveredStrata)
+	}
+}
