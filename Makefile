@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test bench report examples clean
+.PHONY: all build vet test test-race bench report examples clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Run the whole suite under the race detector; the parallel engine and its
+# call sites (graph centrality, bootstrap CIs, ixp sweeps) must stay clean.
+test-race:
+	$(GO) test -race ./...
 
 # Regenerate every experiment table (E1-E14) alongside timing.
 bench:

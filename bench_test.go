@@ -21,11 +21,14 @@ import (
 	"repro/internal/diary"
 	"repro/internal/ethno"
 	"repro/internal/focusgroup"
+	"repro/internal/graph"
 	"repro/internal/ixp"
 	"repro/internal/par"
 	"repro/internal/positionality"
 	"repro/internal/qualcode"
+	"repro/internal/rng"
 	"repro/internal/standards"
+	"repro/internal/stats"
 	"repro/internal/survey"
 )
 
@@ -470,4 +473,73 @@ func BenchmarkA3ReflectionCrossover(b *testing.B) {
 			fmt.Fprintf(os.Stderr, "  gain=%.2f  ratio=%.2f%s\n", g, ratios[j], marker)
 		}
 	})
+}
+
+// --- Parallel engine benchmarks -------------------------------------------
+//
+// The Serial/Parallel pairs below measure the internal/parallel fan-out on
+// the hot analysis paths. Results are bit-identical across worker counts
+// (see internal/parallel's package doc), so the pairs differ only in time.
+
+func benchGraph() *graph.Graph {
+	return graph.BarabasiAlbert(600, 3, rng.New(1))
+}
+
+func BenchmarkBetweennessSerial(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.BetweennessCentralityWorkers(1)
+	}
+}
+
+func BenchmarkBetweennessParallel(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.BetweennessCentralityWorkers(0)
+	}
+}
+
+func BenchmarkClosenessSerial(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.ClosenessCentralityWorkers(1)
+	}
+}
+
+func BenchmarkClosenessParallel(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.ClosenessCentralityWorkers(0)
+	}
+}
+
+func benchBootstrapData() []float64 {
+	r := rng.New(7)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.Pareto(1, 1.5)
+	}
+	return xs
+}
+
+func BenchmarkBootstrapCISerial(b *testing.B) {
+	xs := benchBootstrapData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rng.New(42)
+		_, _ = stats.BootstrapCIWorkers(xs, stats.Median, 2000, 0.95, r, 1)
+	}
+}
+
+func BenchmarkBootstrapCIParallel(b *testing.B) {
+	xs := benchBootstrapData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rng.New(42)
+		_, _ = stats.BootstrapCIWorkers(xs, stats.Median, 2000, 0.95, r, 0)
+	}
 }

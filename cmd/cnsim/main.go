@@ -9,12 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"repro/internal/cn"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -31,6 +33,7 @@ func main() {
 	failProb := flag.Float64("failprob", 0.05, "maintenance: per-node failure probability per epoch")
 	maxVolunteers := flag.Int("max-volunteers", 6, "maintenance: sweep volunteers 1..N")
 	travelLimit := flag.Int("travel-limit", 0, "maintenance: epochs before an unrepaired member churns (0 = never)")
+	workers := flag.Int("workers", 0, "worker goroutines for the maintenance sweep (0 = GOMAXPROCS); output is identical for any value")
 	flag.Parse()
 
 	switch *mode {
@@ -53,13 +56,21 @@ func main() {
 	case "maintenance":
 		fmt.Println("Volunteer maintenance sweep")
 		fmt.Println("volunteers  availability  mean-repair-delay  abandoned")
-		for v := 1; v <= *maxVolunteers; v++ {
-			res := cn.SimulateMaintenance(cn.MaintenanceConfig{
-				Nodes: *nodes, FailProb: *failProb, Volunteers: v,
-				TravelLimit: *travelLimit, Epochs: *epochs, Seed: *seed,
+		// Each volunteer count is an independent simulation seeded from the
+		// config alone, so the sweep fans out and rows land at their index.
+		results, err := parallel.Map(context.Background(), *maxVolunteers, *workers,
+			func(i int) (cn.MaintenanceResult, error) {
+				return cn.SimulateMaintenance(cn.MaintenanceConfig{
+					Nodes: *nodes, FailProb: *failProb, Volunteers: i + 1,
+					TravelLimit: *travelLimit, Epochs: *epochs, Seed: *seed,
+				}), nil
 			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, res := range results {
 			fmt.Printf("%10d  %12.3f  %17.2f  %9d\n",
-				v, res.Availability, res.MeanRepairDelay, res.Abandoned)
+				i+1, res.Availability, res.MeanRepairDelay, res.Abandoned)
 		}
 	case "topology":
 		cfg := cn.SimConfig{

@@ -28,11 +28,12 @@ func main() {
 	isps := flag.Int("isps", 60, "gravity: number of Global-South ISPs")
 	localIXPs := flag.Int("local-ixps", 6, "gravity: number of local exchanges")
 	seed := flag.Uint64("seed", 42, "gravity: PoP placement seed")
+	workers := flag.Int("workers", 0, "worker goroutines for sweeps (0 = GOMAXPROCS); output is identical for any value")
 	flag.Parse()
 
 	switch *experiment {
 	case "circumvention":
-		rows, err := ixp.CircumventionSweep(*competitors, *incumbentShare, *maxShells)
+		rows, err := ixp.CircumventionSweepWorkers(*competitors, *incumbentShare, *maxShells, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,7 +45,7 @@ func main() {
 		}
 	case "gravity":
 		presences := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
-		rows, err := ixp.GravitySweep(*isps, *localIXPs, presences, *seed)
+		rows, err := ixp.GravitySweepWorkers(*isps, *localIXPs, presences, *seed, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,7 +61,7 @@ func main() {
 			ContentVolume: 10, TransitPricePerUnit: 2, Seed: *seed,
 		}
 		costs := []float64{5, 10, 15, 19, 21, 30, 50, 80}
-		rows, err := ixp.EconomicSweep(base, costs)
+		rows, err := ixp.EconomicSweepWorkers(base, costs, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}

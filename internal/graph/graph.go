@@ -10,10 +10,12 @@ package graph
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -274,14 +276,24 @@ func (g *Graph) DegreeCentrality() []float64 {
 
 // ClosenessCentrality returns, for each node, (reachable)/(n-1) *
 // (reachable/sum-of-distances) — the Wasserman–Faust normalization that
-// handles disconnected graphs. Hop distances are used (unweighted).
+// handles disconnected graphs. Hop distances are used (unweighted). It runs
+// the per-source BFS fan-out on GOMAXPROCS workers; see
+// ClosenessCentralityWorkers for the worker-count knob.
 func (g *Graph) ClosenessCentrality() []float64 {
+	return g.ClosenessCentralityWorkers(0)
+}
+
+// ClosenessCentralityWorkers is ClosenessCentrality parallelized over source
+// nodes on at most workers goroutines (workers <= 0 means GOMAXPROCS,
+// workers == 1 runs serially). Each source writes only its own entry, so the
+// output is bit-identical for every worker count.
+func (g *Graph) ClosenessCentralityWorkers(workers int) []float64 {
 	n := len(g.adj)
 	c := make([]float64, n)
 	if n < 2 {
 		return c
 	}
-	for u := 0; u < n; u++ {
+	_ = parallel.ForEach(context.Background(), n, workers, func(u int) error {
 		dist := g.BFS(u)
 		sum, reach := 0, 0
 		for v, d := range dist {
@@ -294,53 +306,94 @@ func (g *Graph) ClosenessCentrality() []float64 {
 			r := float64(reach)
 			c[u] = (r / float64(n-1)) * (r / float64(sum))
 		}
-	}
+		return nil
+	})
 	return c
 }
 
+// brandesFrom runs the single-source phase of Brandes' algorithm from s
+// (shortest-path DAG construction plus dependency accumulation, Brandes
+// 2001) and writes each node's dependency into delta, which must be a zeroed
+// slice of length N.
+func (g *Graph) brandesFrom(s int, delta []float64) {
+	n := len(g.adj)
+	stack := make([]int, 0, n)
+	preds := make([][]int, n)
+	sigma := make([]float64, n)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	sigma[s] = 1
+	dist[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		stack = append(stack, v)
+		for _, e := range g.adj[v] {
+			w := e.To
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+			if dist[w] == dist[v]+1 {
+				sigma[w] += sigma[v]
+				preds[w] = append(preds[w], v)
+			}
+		}
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		w := stack[i]
+		for _, v := range preds[w] {
+			delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+		}
+	}
+}
+
 // BetweennessCentrality returns Brandes' betweenness centrality (unweighted).
-// For undirected graphs the counts are halved per convention.
+// For undirected graphs the counts are halved per convention. It runs the
+// per-source fan-out on GOMAXPROCS workers; see
+// BetweennessCentralityWorkers for the worker-count knob.
 func (g *Graph) BetweennessCentrality() []float64 {
+	return g.BetweennessCentralityWorkers(0)
+}
+
+// BetweennessCentralityWorkers is BetweennessCentrality parallelized over
+// source nodes on at most workers goroutines (workers <= 0 means GOMAXPROCS,
+// workers == 1 runs serially with no goroutines). Per-source dependency
+// vectors are computed concurrently but merged into the result strictly in
+// source order, so the floating-point accumulation order — and therefore the
+// output, bit for bit — is identical for every worker count.
+func (g *Graph) BetweennessCentralityWorkers(workers int) []float64 {
 	n := len(g.adj)
 	cb := make([]float64, n)
-	for s := 0; s < n; s++ {
-		// Single-source shortest-path DAG accumulation (Brandes 2001).
-		stack := make([]int, 0, n)
-		preds := make([][]int, n)
-		sigma := make([]float64, n)
-		dist := make([]int, n)
-		for i := range dist {
-			dist[i] = -1
-		}
-		sigma[s] = 1
-		dist[s] = 0
-		queue := []int{s}
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			stack = append(stack, v)
-			for _, e := range g.adj[v] {
-				w := e.To
-				if dist[w] < 0 {
-					dist[w] = dist[v] + 1
-					queue = append(queue, w)
-				}
-				if dist[w] == dist[v]+1 {
-					sigma[w] += sigma[v]
-					preds[w] = append(preds[w], v)
-				}
-			}
-		}
-		delta := make([]float64, n)
-		for i := len(stack) - 1; i >= 0; i-- {
-			w := stack[i]
-			for _, v := range preds[w] {
-				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
-			}
+	if n == 0 {
+		return cb
+	}
+	accumulate := func(s int, delta []float64) error {
+		for w, d := range delta {
 			if w != s {
-				cb[w] += delta[w]
+				cb[w] += d
 			}
 		}
+		return nil
+	}
+	if parallel.Workers(workers, n) == 1 {
+		delta := make([]float64, n)
+		for s := 0; s < n; s++ {
+			clear(delta)
+			g.brandesFrom(s, delta)
+			_ = accumulate(s, delta)
+		}
+	} else {
+		_ = parallel.ReduceOrdered(context.Background(), n, workers,
+			func(s int) ([]float64, error) {
+				delta := make([]float64, n)
+				g.brandesFrom(s, delta)
+				return delta, nil
+			},
+			accumulate)
 	}
 	if !g.directed {
 		for i := range cb {
@@ -462,13 +515,17 @@ func (g *Graph) LabelPropagation(r *rng.Rand, maxRounds int) (label []int, count
 			for _, e := range g.adj[u] {
 				weight[label[e.To]] += e.Weight
 			}
-			best, bestW := label[u], weight[label[u]]
-			// Deterministic tie-break: lowest label wins.
+			// Deterministic tie-break: lowest label wins. Scanning the
+			// candidate labels in ascending order with a strict comparison
+			// selects the smallest max-weight label; seeding best with the
+			// node's own label would instead let it defeat equal-weight
+			// lower labels.
 			keys := make([]int, 0, len(weight))
 			for k := range weight {
 				keys = append(keys, k)
 			}
 			sort.Ints(keys)
+			best, bestW := -1, math.Inf(-1)
 			for _, k := range keys {
 				if weight[k] > bestW {
 					best, bestW = k, weight[k]

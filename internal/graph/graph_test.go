@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -269,6 +270,28 @@ func TestLabelPropagationTwoCliques(t *testing.T) {
 	}
 }
 
+func TestLabelPropagationLowestLabelWinsTies(t *testing.T) {
+	// Barbell 0-1, 2-3 with bridge 1-2, processed in perm order (3,2,1,0)
+	// (seed 42 yields exactly that permutation of 4). After node 3 adopts
+	// label 2, node 2 sees its own label 2 and label 1 at equal weight 1;
+	// the documented tie-break ("lowest label wins") must move it off its
+	// own label, cascading the whole barbell into one community. The old
+	// seeding let the node's own label defeat equal-weight lower labels and
+	// froze this graph at two communities.
+	g := New(4, false)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(2, 3, 1)
+	_ = g.AddEdge(1, 2, 1)
+	perm := rng.New(42).Perm(4)
+	if perm[0] != 3 || perm[1] != 2 {
+		t.Fatalf("seed 42 perm = %v, test precondition broken", perm)
+	}
+	label, count := g.LabelPropagation(rng.New(42), 50)
+	if count != 1 {
+		t.Fatalf("communities = %d (labels %v), want 1: equal-weight lower label did not win", count, label)
+	}
+}
+
 func TestModularityGoodVsBad(t *testing.T) {
 	g := New(10, false)
 	for u := 0; u < 5; u++ {
@@ -403,6 +426,59 @@ func TestQuickDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
+	}
+}
+
+// centralityWorkerCounts are the equivalence matrix from the determinism
+// contract: parallel output must be bit-identical to serial for workers in
+// {1, 4, GOMAXPROCS} (0 = the GOMAXPROCS default).
+func centralityWorkerCounts() []int {
+	return []int{1, 4, runtime.GOMAXPROCS(0), 0}
+}
+
+func TestBetweennessParallelBitIdenticalToSerial(t *testing.T) {
+	graphs := map[string]*Graph{
+		"erdos-renyi": ErdosRenyi(150, 0.05, rng.New(3)),
+		"barabasi":    BarabasiAlbert(200, 3, rng.New(5)),
+		"star":        star(50),
+		"disconnected": func() *Graph {
+			g := New(40, false)
+			for i := 0; i+1 < 20; i++ {
+				_ = g.AddEdge(i, i+1, 1)
+			}
+			return g
+		}(),
+	}
+	for name, g := range graphs {
+		serial := g.BetweennessCentralityWorkers(1)
+		for _, workers := range centralityWorkerCounts() {
+			got := g.BetweennessCentralityWorkers(workers)
+			for i := range serial {
+				if got[i] != serial[i] {
+					t.Fatalf("%s workers=%d: cb[%d] = %v, serial %v (not bit-identical)",
+						name, workers, i, got[i], serial[i])
+				}
+			}
+		}
+		def := g.BetweennessCentrality()
+		for i := range serial {
+			if def[i] != serial[i] {
+				t.Fatalf("%s: default BetweennessCentrality diverges from serial at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestClosenessParallelBitIdenticalToSerial(t *testing.T) {
+	g := ErdosRenyi(180, 0.04, rng.New(11))
+	serial := g.ClosenessCentralityWorkers(1)
+	for _, workers := range centralityWorkerCounts() {
+		got := g.ClosenessCentralityWorkers(workers)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: c[%d] = %v, serial %v (not bit-identical)", workers, i, got[i], serial[i])
+			}
+		}
 	}
 }
 

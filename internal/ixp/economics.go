@@ -1,7 +1,10 @@
 package ixp
 
 import (
+	"context"
 	"fmt"
+
+	"repro/internal/parallel"
 )
 
 // EconConfig parameterizes the economic variant of the gravity experiment:
@@ -89,15 +92,16 @@ func RunEconomic(cfg EconConfig) (EconRow, error) {
 // point, exposing the adoption crossover at portCost = volume × transit
 // price.
 func EconomicSweep(base EconConfig, portCosts []float64) ([]EconRow, error) {
-	rows := make([]EconRow, 0, len(portCosts))
-	for _, pc := range portCosts {
+	return EconomicSweepWorkers(base, portCosts, 0)
+}
+
+// EconomicSweepWorkers is EconomicSweep with the price points fanned out
+// across at most workers goroutines (workers <= 0 means GOMAXPROCS). Rows
+// are written by index, so the output is identical for every worker count.
+func EconomicSweepWorkers(base EconConfig, portCosts []float64, workers int) ([]EconRow, error) {
+	return parallel.Map(context.Background(), len(portCosts), workers, func(i int) (EconRow, error) {
 		cfg := base
-		cfg.RemotePortCost = pc
-		row, err := RunEconomic(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		cfg.RemotePortCost = portCosts[i]
+		return RunEconomic(cfg)
+	})
 }

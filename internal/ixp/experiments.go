@@ -1,10 +1,12 @@
 package ixp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/bgpsim"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -249,31 +251,33 @@ func RunCircumvention(cfg CircumventionConfig) (CircumventionRow, error) {
 }
 
 // CircumventionSweep runs E1 across the three scenarios, sweeping the shell
-// count for the circumvention scenario, and returns all rows.
+// count for the circumvention scenario, and returns all rows. Scenarios run
+// on GOMAXPROCS workers; see CircumventionSweepWorkers for the knob.
 func CircumventionSweep(competitors int, incumbentShare float64, maxShells int) ([]CircumventionRow, error) {
-	var rows []CircumventionRow
-	base := CircumventionConfig{Competitors: competitors, IncumbentShare: incumbentShare}
+	return CircumventionSweepWorkers(competitors, incumbentShare, maxShells, 0)
+}
 
+// CircumventionSweepWorkers is CircumventionSweep with the independent
+// scenarios fanned out across at most workers goroutines (workers <= 0 means
+// GOMAXPROCS). Each scenario builds its own topology and writes its row by
+// index, so the rows are identical for every worker count.
+func CircumventionSweepWorkers(competitors int, incumbentShare float64, maxShells, workers int) ([]CircumventionRow, error) {
+	base := CircumventionConfig{Competitors: competitors, IncumbentShare: incumbentShare}
+	var cfgs []CircumventionConfig
 	for _, mode := range []RegulationMode{NoRegulation, RegulationCompliant} {
 		cfg := base
 		cfg.Mode = mode
-		row, err := RunCircumvention(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		cfgs = append(cfgs, cfg)
 	}
 	for shells := 1; shells <= maxShells; shells++ {
 		cfg := base
 		cfg.Mode = RegulationCircumvented
 		cfg.Shells = shells
-		row, err := RunCircumvention(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		cfgs = append(cfgs, cfg)
 	}
-	return rows, nil
+	return parallel.Map(context.Background(), len(cfgs), workers, func(i int) (CircumventionRow, error) {
+		return RunCircumvention(cfgs[i])
+	})
 }
 
 // PolicySweep runs the regulator's counter-move analysis: under the
@@ -282,21 +286,22 @@ func CircumventionSweep(competitors int, incumbentShare float64, maxShells int) 
 // recovers. The policy lesson the ethnography points at: regulating
 // *presence* is gameable, regulating *served users* is not.
 func PolicySweep(competitors int, incumbentShare float64, migrations []float64) ([]CircumventionRow, error) {
-	rows := make([]CircumventionRow, 0, len(migrations))
-	for _, m := range migrations {
-		row, err := RunCircumvention(CircumventionConfig{
+	return PolicySweepWorkers(competitors, incumbentShare, migrations, 0)
+}
+
+// PolicySweepWorkers is PolicySweep with the migration points fanned out
+// across at most workers goroutines (workers <= 0 means GOMAXPROCS). Rows
+// are written by index, so the output is identical for every worker count.
+func PolicySweepWorkers(competitors int, incumbentShare float64, migrations []float64, workers int) ([]CircumventionRow, error) {
+	return parallel.Map(context.Background(), len(migrations), workers, func(i int) (CircumventionRow, error) {
+		return RunCircumvention(CircumventionConfig{
 			Competitors:    competitors,
 			IncumbentShare: incumbentShare,
 			Shells:         2,
 			Mode:           RegulationCircumvented,
-			MigratedShare:  m,
+			MigratedShare:  migrations[i],
 		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	})
 }
 
 // GravityConfig parameterizes experiment E2 (the DE-CIX study).
@@ -441,20 +446,24 @@ func hasIXP(names []string, want string) bool {
 	return false
 }
 
-// GravitySweep runs E2 over a sweep of local content presence values.
+// GravitySweep runs E2 over a sweep of local content presence values on
+// GOMAXPROCS workers; see GravitySweepWorkers for the knob.
 func GravitySweep(southISPs, localIXPs int, presences []float64, seed uint64) ([]GravityRow, error) {
-	rows := make([]GravityRow, 0, len(presences))
-	for i, p := range presences {
-		row, err := RunGravity(GravityConfig{
+	return GravitySweepWorkers(southISPs, localIXPs, presences, seed, 0)
+}
+
+// GravitySweepWorkers is GravitySweep with the presence points fanned out
+// across at most workers goroutines (workers <= 0 means GOMAXPROCS). Each
+// point derives its own seed from its index — exactly the seeds the serial
+// sweep used — and rows are written by index, so the output is identical for
+// every worker count.
+func GravitySweepWorkers(southISPs, localIXPs int, presences []float64, seed uint64, workers int) ([]GravityRow, error) {
+	return parallel.Map(context.Background(), len(presences), workers, func(i int) (GravityRow, error) {
+		return RunGravity(GravityConfig{
 			SouthISPs:       southISPs,
 			LocalIXPs:       localIXPs,
-			ContentPresence: p,
+			ContentPresence: presences[i],
 			Seed:            seed + uint64(i)*1000,
 		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	})
 }

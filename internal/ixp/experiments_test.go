@@ -283,3 +283,76 @@ func TestE2PathLengthSeparatesRegimes(t *testing.T) {
 		t.Errorf("remote-peered mean path length = %g, want 2", mixed.MeanPathLen)
 	}
 }
+
+// The *SweepWorkers variants must return exactly the rows the serial sweep
+// produces, for any worker count: results land at their task index and each
+// configuration run is independent.
+func TestSweepsParallelMatchSerial(t *testing.T) {
+	for _, workers := range []int{4, 0} {
+		serialC, err := CircumventionSweepWorkers(4, 0.6, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parC, err := CircumventionSweepWorkers(4, 0.6, 3, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parC) != len(serialC) {
+			t.Fatalf("circumvention rows = %d, want %d", len(parC), len(serialC))
+		}
+		for i := range serialC {
+			if parC[i] != serialC[i] {
+				t.Errorf("circumvention row %d differs with workers=%d: %+v vs %+v", i, workers, parC[i], serialC[i])
+			}
+		}
+
+		migrations := []float64{0, 0.25, 0.5, 0.75, 1}
+		serialP, err := PolicySweepWorkers(4, 0.6, migrations, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parP, err := PolicySweepWorkers(4, 0.6, migrations, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serialP {
+			if parP[i] != serialP[i] {
+				t.Errorf("policy row %d differs with workers=%d", i, workers)
+			}
+		}
+
+		presences := []float64{0, 0.2, 0.4, 0.6, 0.8, 1}
+		serialG, err := GravitySweepWorkers(40, 3, presences, 7, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parG, err := GravitySweepWorkers(40, 3, presences, 7, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serialG {
+			if parG[i] != serialG[i] {
+				t.Errorf("gravity row %d differs with workers=%d", i, workers)
+			}
+		}
+
+		base := EconConfig{
+			SouthISPs: 40, LocalIXPs: 3, ContentPresence: 0.4,
+			ContentVolume: 10, TransitPricePerUnit: 2, Seed: 7,
+		}
+		portCosts := []float64{1, 10, 19, 20, 21, 40}
+		serialE, err := EconomicSweepWorkers(base, portCosts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parE, err := EconomicSweepWorkers(base, portCosts, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serialE {
+			if parE[i] != serialE[i] {
+				t.Errorf("economic row %d differs with workers=%d", i, workers)
+			}
+		}
+	}
+}

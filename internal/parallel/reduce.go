@@ -1,0 +1,125 @@
+package parallel
+
+import (
+	"context"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// ReduceOrdered runs mapFn(i) for every i in [0, n) concurrently on at most
+// workers goroutines and feeds each result to reduce exactly once, strictly
+// in index order, from the calling goroutine. It is the engine's ordered
+// fork-join primitive: because the reduction order is fixed by index, any
+// reduction — including non-associative floating-point accumulation — yields
+// bit-identical results for every worker count, matching a serial loop
+//
+//	for i := 0..n-1 { reduce(i, mapFn(i)) }
+//
+// At most 2*workers map results are in flight at once, so memory stays
+// bounded even when one early task is slow.
+//
+// A mapFn error (or panic, surfaced as *PanicError) is reported when the
+// reduction frontier reaches its index, so the returned error is that of the
+// lowest failed index — deterministic across worker counts. A reduce error
+// aborts immediately. Cancellation is checked between reductions.
+func ReduceOrdered[T any](ctx context.Context, n, workers int, mapFn func(i int) (T, error), reduce func(i int, v T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			v, err := runMapTask(i, mapFn)
+			if err != nil {
+				return err
+			}
+			if err := reduce(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type slot struct {
+		v   T
+		err error
+	}
+	var (
+		mu   sync.Mutex
+		cond = sync.NewCond(&mu)
+		done = make(map[int]slot, 2*workers)
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	// sem bounds started-but-unconsumed tasks. Workers acquire a slot before
+	// taking an index and the reducer releases one per consumed index, so the
+	// in-flight indices are always the window smallest unconsumed ones — the
+	// reduction frontier is always being worked on and cannot deadlock.
+	sem := make(chan struct{}, 2*workers)
+	quit := make(chan struct{})
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-quit:
+					return
+				case sem <- struct{}{}:
+				}
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				v, err := runMapTask(i, mapFn)
+				mu.Lock()
+				done[i] = slot{v: v, err: err}
+				mu.Unlock()
+				cond.Broadcast()
+			}
+		}()
+	}
+
+	var retErr error
+	for f := 0; f < n; f++ {
+		if err := ctx.Err(); err != nil {
+			retErr = err
+			break
+		}
+		mu.Lock()
+		s, ok := done[f]
+		for !ok {
+			cond.Wait()
+			s, ok = done[f]
+		}
+		delete(done, f)
+		mu.Unlock()
+		if s.err != nil {
+			retErr = s.err
+			break
+		}
+		if err := reduce(f, s.v); err != nil {
+			retErr = err
+			break
+		}
+		<-sem
+	}
+	close(quit)
+	wg.Wait()
+	return retErr
+}
+
+// runMapTask invokes mapFn(i), converting a panic into a *PanicError.
+func runMapTask[T any](i int, mapFn func(int) (T, error)) (v T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Index: i, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return mapFn(i)
+}

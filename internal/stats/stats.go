@@ -9,11 +9,23 @@
 package stats
 
 import (
+	"context"
 	"math"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
+
+// hasNaN reports whether xs contains a NaN.
+func hasNaN(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
+}
 
 // Mean returns the arithmetic mean of xs, or NaN if xs is empty.
 func Mean(xs []float64) float64 {
@@ -84,13 +96,25 @@ func Max(xs []float64) float64 {
 
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
 // interpolation between order statistics (type-7, the R default). Returns NaN
-// for empty input or q outside [0, 1].
+// for empty input, q outside [0, 1], or any NaN in xs: sort.Float64s leaves
+// NaNs in unspecified positions, so rather than interpolate over a corrupted
+// order the missing data propagates explicitly.
 func Quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 || q < 0 || q > 1 {
+	if len(xs) == 0 || q < 0 || q > 1 || hasNaN(xs) {
 		return math.NaN()
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// quantileSorted returns the type-7 q-quantile of s, which must be sorted
+// ascending and NaN-free. It lets callers that need several quantiles of the
+// same sample (Summarize, BootstrapCI) sort once.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
 	if len(s) == 1 {
 		return s[0]
 	}
@@ -242,21 +266,45 @@ func TopKShare(xs []float64, k int) float64 {
 }
 
 // Histogram bins xs into nbins equal-width bins over [min, max] and returns
-// counts. Values exactly at max land in the last bin. Returns nil for empty
-// input or nbins <= 0.
+// counts. Values exactly at max land in the last bin. NaN entries are skipped
+// (a NaN would poison the bin width and turn int(NaN) into a panicking
+// negative index); the range is taken over the remaining values. Returns nil
+// for empty input, nbins <= 0, or all-NaN input.
 func Histogram(xs []float64, nbins int) []int {
 	if len(xs) == 0 || nbins <= 0 {
 		return nil
 	}
-	lo, hi := Min(xs), Max(xs)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	kept := 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		kept++
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if kept == 0 {
+		return nil
+	}
 	counts := make([]int, nbins)
 	if hi == lo {
-		counts[0] = len(xs)
+		counts[0] = kept
 		return counts
 	}
 	w := (hi - lo) / float64(nbins)
 	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
 		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
 		if b >= nbins {
 			b = nbins - 1
 		}
@@ -310,23 +358,60 @@ func LinearFit(xs, ys []float64) (a, b, r2 float64) {
 	return a, b, r2
 }
 
+// bootstrapBatch is the number of resamples drawn from one RNG stream split
+// from the caller's generator. The batch structure depends only on
+// nresamples — never on worker count — so serial and parallel execution
+// consume identical random streams.
+const bootstrapBatch = 64
+
 // BootstrapCI returns a percentile bootstrap confidence interval for the
 // statistic fn over xs at the given confidence level (e.g. 0.95), using
-// nresamples resamples drawn with r. Returns NaNs for empty input.
+// nresamples resamples seeded from r. Returns NaNs for empty input, and
+// propagates NaN (NaN, NaN) when any resample estimate is NaN — e.g. when xs
+// itself carries NaNs. Equivalent to BootstrapCIWorkers with workers == 1.
 func BootstrapCI(xs []float64, fn func([]float64) float64, nresamples int, level float64, r *rng.Rand) (lo, hi float64) {
+	return BootstrapCIWorkers(xs, fn, nresamples, level, r, 1)
+}
+
+// BootstrapCIWorkers is BootstrapCI with the resampling fanned out across at
+// most workers goroutines (workers <= 0 means GOMAXPROCS, workers == 1 runs
+// serially). Resamples are grouped into fixed batches; batch i always draws
+// from the i-th stream split from r and writes its estimates at fixed
+// indices, so the interval is bit-identical for every worker count. fn must
+// be safe for concurrent calls on distinct slices (any pure statistic, such
+// as Mean or Median, is).
+func BootstrapCIWorkers(xs []float64, fn func([]float64) float64, nresamples int, level float64, r *rng.Rand, workers int) (lo, hi float64) {
 	if len(xs) == 0 || nresamples <= 0 {
 		return math.NaN(), math.NaN()
 	}
-	est := make([]float64, nresamples)
-	buf := make([]float64, len(xs))
-	for i := 0; i < nresamples; i++ {
-		for j := range buf {
-			buf[j] = xs[r.Intn(len(xs))]
-		}
-		est[i] = fn(buf)
+	nbatches := (nresamples + bootstrapBatch - 1) / bootstrapBatch
+	streams := make([]*rng.Rand, nbatches)
+	for i := range streams {
+		streams[i] = r.Split()
 	}
+	est := make([]float64, nresamples)
+	_ = parallel.ForEach(context.Background(), nbatches, workers, func(bi int) error {
+		br := streams[bi]
+		start := bi * bootstrapBatch
+		end := start + bootstrapBatch
+		if end > nresamples {
+			end = nresamples
+		}
+		buf := make([]float64, len(xs))
+		for i := start; i < end; i++ {
+			for j := range buf {
+				buf[j] = xs[br.Intn(len(xs))]
+			}
+			est[i] = fn(buf)
+		}
+		return nil
+	})
+	if hasNaN(est) {
+		return math.NaN(), math.NaN()
+	}
+	sort.Float64s(est)
 	alpha := (1 - level) / 2
-	return Quantile(est, alpha), Quantile(est, 1-alpha)
+	return quantileSorted(est, alpha), quantileSorted(est, 1-alpha)
 }
 
 // Summary captures the standard five-number-plus summary of a sample.
@@ -338,19 +423,25 @@ type Summary struct {
 	P75, P95, Max float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs. The order statistics come from a
+// single sorted copy rather than one copy+sort per quantile. Empty or
+// NaN-bearing input yields NaN order statistics (missing data propagates).
 func Summarize(xs []float64) Summary {
-	return Summary{
-		N:      len(xs),
-		Mean:   Mean(xs),
-		Std:    StdDev(xs),
-		Min:    Min(xs),
-		P25:    Quantile(xs, 0.25),
-		Median: Median(xs),
-		P75:    Quantile(xs, 0.75),
-		P95:    Quantile(xs, 0.95),
-		Max:    Max(xs),
+	s := Summary{N: len(xs), Mean: Mean(xs), Std: StdDev(xs)}
+	if len(xs) == 0 || hasNaN(xs) {
+		nan := math.NaN()
+		s.Min, s.P25, s.Median, s.P75, s.P95, s.Max = nan, nan, nan, nan, nan, nan
+		return s
 	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.P25 = quantileSorted(sorted, 0.25)
+	s.Median = quantileSorted(sorted, 0.5)
+	s.P75 = quantileSorted(sorted, 0.75)
+	s.P95 = quantileSorted(sorted, 0.95)
+	s.Max = sorted[len(sorted)-1]
+	return s
 }
 
 // Cronbach returns Cronbach's alpha for an item matrix: items[i][j] is

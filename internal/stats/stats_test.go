@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -172,6 +173,38 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramSkipsNaN(t *testing.T) {
+	// Regression: a NaN poisoned Min/Max, made the bin width NaN, and
+	// int(NaN) produced a negative index that panicked at counts[b]++.
+	h := Histogram([]float64{1, math.NaN(), 2}, 4)
+	if len(h) != 4 {
+		t.Fatalf("histogram = %v, want 4 bins", h)
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 2 {
+		t.Errorf("histogram %v counts %d values, want 2 (NaN skipped)", h, total)
+	}
+	if h[0] != 1 || h[3] != 1 {
+		t.Errorf("histogram = %v, want value 1 in first bin and 2 in last", h)
+	}
+}
+
+func TestHistogramAllNaN(t *testing.T) {
+	if h := Histogram([]float64{math.NaN(), math.NaN()}, 3); h != nil {
+		t.Errorf("all-NaN histogram = %v, want nil", h)
+	}
+}
+
+func TestHistogramNaNWithConstantRest(t *testing.T) {
+	h := Histogram([]float64{5, math.NaN(), 5}, 3)
+	if h == nil || h[0] != 2 {
+		t.Errorf("constant-plus-NaN histogram = %v, want [2 0 0]", h)
+	}
+}
+
 func TestChiSquare(t *testing.T) {
 	obs := []float64{10, 20, 30}
 	if got := ChiSquare(obs, obs); got != 0 {
@@ -212,6 +245,89 @@ func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3, 4, 5})
 	if s.N != 5 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
 		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestQuantileNaNPropagates(t *testing.T) {
+	// Regression: sort.Float64s leaves NaNs in unspecified positions, so a
+	// NaN-bearing input used to yield arbitrary garbage quantiles.
+	xs := []float64{1, math.NaN(), 2}
+	if got := Quantile(xs, 0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile with NaN = %g, want NaN", got)
+	}
+	if got := Median(xs); !math.IsNaN(got) {
+		t.Errorf("Median with NaN = %g, want NaN", got)
+	}
+}
+
+func TestSummarizeNaNPropagates(t *testing.T) {
+	s := Summarize([]float64{3, math.NaN(), 1})
+	if s.N != 3 {
+		t.Errorf("N = %d, want 3", s.N)
+	}
+	for name, v := range map[string]float64{
+		"Mean": s.Mean, "Std": s.Std, "Min": s.Min, "P25": s.P25,
+		"Median": s.Median, "P75": s.P75, "P95": s.P95, "Max": s.Max,
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s = %g, want NaN for NaN-bearing input", name, v)
+		}
+	}
+}
+
+func TestSummarizeMatchesQuantiles(t *testing.T) {
+	// The single-sort fast path must agree with the public one-off calls.
+	r := rng.New(17)
+	xs := make([]float64, 401)
+	for i := range xs {
+		xs[i] = r.Pareto(1, 1.5)
+	}
+	s := Summarize(xs)
+	if s.Min != Min(xs) || s.Max != Max(xs) {
+		t.Errorf("Min/Max = %g/%g, want %g/%g", s.Min, s.Max, Min(xs), Max(xs))
+	}
+	for _, c := range []struct {
+		name string
+		got  float64
+		q    float64
+	}{
+		{"P25", s.P25, 0.25}, {"Median", s.Median, 0.5},
+		{"P75", s.P75, 0.75}, {"P95", s.P95, 0.95},
+	} {
+		if want := Quantile(xs, c.q); c.got != want {
+			t.Errorf("%s = %v, want Quantile(%g) = %v", c.name, c.got, c.q, want)
+		}
+	}
+}
+
+func TestBootstrapCINaNPropagates(t *testing.T) {
+	lo, hi := BootstrapCI([]float64{1, math.NaN(), 2}, Mean, 50, 0.95, rng.New(1))
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Errorf("NaN-bearing bootstrap CI = [%g, %g], want NaNs", lo, hi)
+	}
+}
+
+func TestBootstrapCIWorkersBitIdentical(t *testing.T) {
+	xs := make([]float64, 300)
+	gen := rng.New(5)
+	for i := range xs {
+		xs[i] = gen.Pareto(1, 1.3)
+	}
+	// 130 resamples spans three batches, the last one partial.
+	run := func(workers int) (float64, float64) {
+		return BootstrapCIWorkers(xs, Median, 130, 0.9, rng.New(23), workers)
+	}
+	baseLo, baseHi := run(1)
+	serialLo, serialHi := BootstrapCI(xs, Median, 130, 0.9, rng.New(23))
+	if baseLo != serialLo || baseHi != serialHi {
+		t.Fatalf("BootstrapCI [%v, %v] != BootstrapCIWorkers(1) [%v, %v]", serialLo, serialHi, baseLo, baseHi)
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0), 0} {
+		lo, hi := run(workers)
+		if lo != baseLo || hi != baseHi {
+			t.Errorf("workers=%d: CI [%v, %v] != serial [%v, %v] (not bit-identical)",
+				workers, lo, hi, baseLo, baseHi)
+		}
 	}
 }
 
