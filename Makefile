@@ -1,8 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench report examples clean
+.PHONY: all check build vet test test-race bench bench-json report examples clean
 
 all: build vet test test-race
+
+# Fast pre-commit gate: compile, vet, unit tests (no race detector).
+check: build vet test
 
 build:
 	$(GO) build ./...
@@ -21,6 +24,20 @@ test-race:
 # Regenerate every experiment table (E1-E14) alongside timing.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Record the routing-engine + E1-E10 benchmark baseline into
+# BENCH_bgpsim.json (ns/op, B/op, allocs/op per benchmark). The baseline is
+# committed; re-run after perf-relevant changes and diff. BENCHTIME=1x gives
+# a quick single-iteration snapshot.
+BENCHTIME ?= 1s
+bench-json:
+	@tmp=$$(mktemp); \
+	$(GO) test -run '^$$' -bench '^(BenchmarkConverge|BenchmarkLeakSweepEndToEnd|BenchmarkRunLeakSweep)' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/bgpsim >>$$tmp || { rm -f $$tmp; exit 1; }; \
+	$(GO) test -run '^$$' -bench '^BenchmarkE([1-9]|10)[A-Z]' \
+		-benchmem -benchtime $(BENCHTIME) . >>$$tmp || { rm -f $$tmp; exit 1; }; \
+	$(GO) run ./cmd/benchjson -out BENCH_bgpsim.json <$$tmp; \
+	rm -f $$tmp
 
 # One-command Markdown report of all measured tables.
 report:

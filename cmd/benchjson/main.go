@@ -1,0 +1,115 @@
+// Command benchjson converts `go test -bench` output on stdin into a stable
+// JSON benchmark baseline (name, iterations, ns/op, B/op, allocs/op per
+// benchmark). It is the backend of `make bench-json`, which records the
+// bgpsim engine + E1–E10 experiment benchmarks into BENCH_bgpsim.json so the
+// repo's perf trajectory is tracked in-tree.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+)
+
+// Benchmark is one measured benchmark result.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"b_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Baseline is the file layout of BENCH_bgpsim.json.
+type Baseline struct {
+	Schema     string      `json:"schema"`
+	Go         string      `json:"go"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	cpuLine   = regexp.MustCompile(`^cpu: (.+)$`)
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "write the JSON baseline here (default stdout)")
+	flag.Parse()
+
+	base := Baseline{
+		Schema:     "bench-v1",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := cpuLine.FindStringSubmatch(line); m != nil {
+			base.CPU = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			log.Fatalf("bad iteration count in %q: %v", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			log.Fatalf("bad ns/op in %q: %v", line, err)
+		}
+		bench := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			v, err := strconv.ParseInt(m[4], 10, 64)
+			if err != nil {
+				log.Fatalf("bad B/op in %q: %v", line, err)
+			}
+			bench.BytesPerOp = &v
+		}
+		if m[5] != "" {
+			v, err := strconv.ParseInt(m[5], 10, 64)
+			if err != nil {
+				log.Fatalf("bad allocs/op in %q: %v", line, err)
+			}
+			bench.AllocsPerOp = &v
+		}
+		base.Benchmarks = append(base.Benchmarks, bench)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(base.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(base.Benchmarks))
+}

@@ -1,11 +1,14 @@
 // Command ixpsim runs the interconnection experiments from the paper's §3
-// case studies: mandatory-peering circumvention (E1) and giant-IXP gravity
-// (E2).
+// and §6 case studies: mandatory-peering circumvention (E1), giant-IXP
+// gravity (E2), route-leak blast radius (E14), and exact-prefix hijack
+// capture (E16).
 //
 // Usage:
 //
 //	ixpsim -experiment circumvention [-competitors 6] [-incumbent-share 0.6] [-max-shells 6]
 //	ixpsim -experiment gravity [-isps 60] [-local-ixps 6] [-seed 42]
+//	ixpsim -experiment leak [-mids 8] [-stubs 20] [-seed 5] [-workers 4]
+//	ixpsim -experiment hijack [-mids 8] [-stubs 20] [-seed 5] [-workers 4]
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/bgpsim"
 	"repro/internal/ixp"
 )
 
@@ -21,13 +25,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ixpsim: ")
 
-	experiment := flag.String("experiment", "circumvention", "which experiment to run: circumvention | gravity | economics")
+	experiment := flag.String("experiment", "circumvention", "which experiment to run: circumvention | gravity | economics | leak | hijack")
 	competitors := flag.Int("competitors", 6, "circumvention: number of competitor ISPs")
 	incumbentShare := flag.Float64("incumbent-share", 0.6, "circumvention: incumbent's user share")
 	maxShells := flag.Int("max-shells", 6, "circumvention: max shell ASNs to sweep")
 	isps := flag.Int("isps", 60, "gravity: number of Global-South ISPs")
 	localIXPs := flag.Int("local-ixps", 6, "gravity: number of local exchanges")
-	seed := flag.Uint64("seed", 42, "gravity: PoP placement seed")
+	seed := flag.Uint64("seed", 42, "gravity/leak/hijack: topology seed")
+	mids := flag.Int("mids", 8, "leak/hijack: mid-tier AS count in the generated hierarchy")
+	stubs := flag.Int("stubs", 20, "leak/hijack: stub AS count in the generated hierarchy")
 	workers := flag.Int("workers", 0, "worker goroutines for sweeps (0 = GOMAXPROCS); output is identical for any value")
 	flag.Parse()
 
@@ -71,6 +77,28 @@ func main() {
 			fmt.Printf("%9.0f  %13d  %11.3f  %11.3f  %13.3f  %9.2f\n",
 				r.RemotePortCost, r.RemotePeered, r.GiantIXPShare, r.LocalIXPShare,
 				r.TransitShare, r.MeanCost)
+		}
+	case "leak":
+		rows, err := bgpsim.RunLeakSweepWorkers(*mids, *stubs, *seed, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("E14 — Route-leak blast radius (Mahajan et al. misconfiguration case)")
+		fmt.Println("leaker   asn  providers  affected  affected-share")
+		for _, r := range rows {
+			fmt.Printf("%-6s  %4d  %9d  %8d  %14.3f\n",
+				r.LeakerKind, r.LeakerASN, r.Providers, r.Affected, r.AffectedShare)
+		}
+	case "hijack":
+		rows, err := bgpsim.RunHijackSweepWorkers(*mids, *stubs, *seed, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("E16 — Exact-prefix (MOAS) hijack capture")
+		fmt.Println("attacker   asn  captured  captured-share")
+		for _, r := range rows {
+			fmt.Printf("%-8s  %4d  %8d  %14.3f\n",
+				r.AttackerKind, r.AttackerASN, r.Captured, r.CapturedShare)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)

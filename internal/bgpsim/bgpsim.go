@@ -234,182 +234,97 @@ type Route struct {
 	Learned Relationship
 }
 
-// better reports whether candidate should replace incumbent under standard
-// BGP decision order: higher local pref (relationship), then shorter path,
-// then lower next-hop ASN for determinism.
-func better(cand, inc *Route) bool {
-	if inc == nil {
-		return true
-	}
-	if cand.Learned != inc.Learned {
-		return cand.Learned > inc.Learned
-	}
-	if len(cand.Path) != len(inc.Path) {
-		return len(cand.Path) < len(inc.Path)
-	}
-	// Deterministic tiebreak: lexicographically smaller path wins.
-	for i := range cand.Path {
-		if cand.Path[i] != inc.Path[i] {
-			return cand.Path[i] < inc.Path[i]
-		}
-	}
-	return false
-}
-
 // RoutingTables holds the converged best route of every AS for every prefix.
+// Internally the tables are dense: ASNs and prefixes are interned to indices
+// and each (prefix, AS) cell stores the selected relationship, the path
+// length, and the head of an immutable shared path chain (see engine.go).
+// All accessors return copies; nothing handed out aliases engine state.
 type RoutingTables struct {
-	tables map[ASN]map[string]*Route
+	asns     []ASN
+	asIdx    map[ASN]int32
+	prefixes []string
+	pfxIdx   map[string]int32
+	entries  []entry // prefix-major: entries[p*len(asns)+a]
 }
 
-// Converge computes the Gao–Rexford routing fixpoint and returns the
-// resulting tables. Each round, every AS recomputes its best route per
-// prefix from its neighbors' current selections (synchronous Bellman–Ford
-// over policies), so stale paths cannot survive a neighbor changing its
-// mind. Valley-free export: a neighbor's route is a candidate only if that
-// neighbor originated it or learned it from a customer, unless we are the
-// neighbor's customer (customers receive everything).
-//
-// Gao–Rexford guarantees convergence when the provider–customer graph is
-// acyclic; a safety cap of 4·|AS|+16 rounds guards malformed topologies.
-func (t *Topology) Converge() *RoutingTables {
-	asns := t.ASNs()
-	// Collect the universe of prefixes.
-	prefixSet := make(map[string]bool)
-	for _, n := range asns {
-		for _, p := range t.ases[n].origins {
-			prefixSet[p] = true
-		}
+func newRoutingTables(asns []ASN, prefixes []string) *RoutingTables {
+	rt := &RoutingTables{
+		asns:     asns,
+		asIdx:    make(map[ASN]int32, len(asns)),
+		prefixes: prefixes,
+		pfxIdx:   make(map[string]int32, len(prefixes)),
+		entries:  make([]entry, len(asns)*len(prefixes)),
 	}
-	prefixes := make([]string, 0, len(prefixSet))
-	for p := range prefixSet {
-		prefixes = append(prefixes, p)
+	for i, n := range asns {
+		rt.asIdx[n] = int32(i)
 	}
-	sort.Strings(prefixes)
-
-	rt := &RoutingTables{tables: make(map[ASN]map[string]*Route, len(t.ases))}
-	originSet := make(map[ASN]map[string]bool, len(t.ases))
-	for _, n := range asns {
-		rt.tables[n] = make(map[string]*Route)
-		os := make(map[string]bool)
-		for _, p := range t.ases[n].origins {
-			os[p] = true
-		}
-		originSet[n] = os
-	}
-
-	maxRounds := 4*len(asns) + 16
-	for round := 0; round < maxRounds; round++ {
-		changed := false
-		next := make(map[ASN]map[string]*Route, len(asns))
-		for _, n := range asns {
-			neighborRel := t.Neighbors(n)
-			nbrs := make([]ASN, 0, len(neighborRel))
-			for nb := range neighborRel {
-				nbrs = append(nbrs, nb)
-			}
-			sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
-
-			tbl := make(map[string]*Route, len(prefixes))
-			for _, p := range prefixes {
-				var best *Route
-				if originSet[n][p] {
-					best = &Route{Prefix: p, Path: []ASN{n}, Learned: Origin}
-				}
-				for _, nb := range nbrs {
-					nbRoute := rt.tables[nb][p]
-					if nbRoute == nil {
-						continue
-					}
-					// Export policy from nb's side: we receive everything if
-					// we are nb's customer; otherwise only origin/customer
-					// routes (valley-free). A leaker ignores the policy.
-					weAreCustomer := t.ases[nb].customers[n]
-					if !weAreCustomer && !t.ases[nb].leaker &&
-						nbRoute.Learned != Origin && nbRoute.Learned != FromCustomer {
-						continue
-					}
-					// Loop prevention: reject paths already containing us.
-					loop := false
-					for _, hop := range nbRoute.Path {
-						if hop == n {
-							loop = true
-							break
-						}
-					}
-					if loop {
-						continue
-					}
-					cand := &Route{
-						Prefix:  p,
-						Path:    append([]ASN{n}, nbRoute.Path...),
-						Learned: neighborRel[nb],
-					}
-					if better(cand, best) {
-						best = cand
-					}
-				}
-				if best != nil {
-					tbl[p] = best
-					if !routesEqual(best, rt.tables[n][p]) {
-						changed = true
-					}
-				} else if rt.tables[n][p] != nil {
-					changed = true
-				}
-			}
-			next[n] = tbl
-		}
-		rt.tables = next
-		if !changed {
-			break
-		}
+	for i, p := range prefixes {
+		rt.pfxIdx[p] = int32(i)
 	}
 	return rt
 }
 
-func routesEqual(a, b *Route) bool {
-	if a == nil || b == nil {
-		return a == b
+// lookup returns the cell for (n, prefix), or nil when either is unknown.
+func (rt *RoutingTables) lookup(n ASN, prefix string) *entry {
+	ai, ok := rt.asIdx[n]
+	if !ok {
+		return nil
 	}
-	if a.Learned != b.Learned || len(a.Path) != len(b.Path) {
-		return false
+	pi, ok := rt.pfxIdx[prefix]
+	if !ok {
+		return nil
 	}
-	for i := range a.Path {
-		if a.Path[i] != b.Path[i] {
-			return false
-		}
-	}
-	return true
+	return &rt.entries[int(pi)*len(rt.asns)+int(ai)]
 }
 
-// Route returns the best route at AS n for prefix, or nil if none.
+// materialize copies a path chain into a fresh slice.
+func materialize(head *pathNode, plen int32) []ASN {
+	out := make([]ASN, 0, plen)
+	for c := head; c != nil; c = c.next {
+		out = append(out, c.asn)
+	}
+	return out
+}
+
+// Route returns a copy of the best route at AS n for prefix, or nil if none.
+// The caller owns the returned Route: mutating it, including its Path slice,
+// never affects the converged tables or the result of other calls.
 func (rt *RoutingTables) Route(n ASN, prefix string) *Route {
-	return rt.tables[n][prefix]
+	en := rt.lookup(n, prefix)
+	if en == nil || en.head == nil {
+		return nil
+	}
+	return &Route{Prefix: prefix, Path: materialize(en.head, en.plen), Learned: en.learned}
 }
 
 // Path returns the AS path from n to prefix (n first, origin last), or nil
-// when unreachable.
+// when unreachable. The slice is a fresh copy owned by the caller.
 func (rt *RoutingTables) Path(n ASN, prefix string) []ASN {
-	r := rt.tables[n][prefix]
-	if r == nil {
+	en := rt.lookup(n, prefix)
+	if en == nil || en.head == nil {
 		return nil
 	}
-	return append([]ASN(nil), r.Path...)
+	return materialize(en.head, en.plen)
 }
 
 // Reachable reports whether n has any route to prefix.
 func (rt *RoutingTables) Reachable(n ASN, prefix string) bool {
-	return rt.tables[n][prefix] != nil
+	en := rt.lookup(n, prefix)
+	return en != nil && en.head != nil
 }
 
 // Prefixes returns the sorted prefixes in n's table.
 func (rt *RoutingTables) Prefixes(n ASN) []string {
-	tbl := rt.tables[n]
-	out := make([]string, 0, len(tbl))
-	for p := range tbl {
-		out = append(out, p)
+	ai, ok := rt.asIdx[n]
+	if !ok {
+		return nil
 	}
-	sort.Strings(out)
+	out := make([]string, 0, len(rt.prefixes))
+	for pi, p := range rt.prefixes {
+		if rt.entries[pi*len(rt.asns)+int(ai)].head != nil {
+			out = append(out, p)
+		}
+	}
 	return out
 }
 

@@ -1,0 +1,377 @@
+package bgpsim
+
+// The compiled routing engine behind Converge/ConvergeWorkers.
+//
+// The original fixpoint (kept as convergeReference in reference.go) is a
+// synchronous Bellman–Ford over map[ASN]map[string]*Route: every round it
+// rebuilds every table, re-derives and re-sorts every neighbor list, and
+// copies every candidate AS path. This engine computes the exact same
+// fixpoint — bit-identical tables, paths, and reachability — from a compiled
+// form of the topology:
+//
+//   - ASNs and prefixes are interned to dense indices once, at convergence
+//     start, and the routing state is a flat column of entries per prefix
+//     instead of nested maps.
+//   - Neighbor adjacency is precompiled once per convergence: for every AS a
+//     sorted slice of (neighbor index, learned relationship, exports-all)
+//     edges replaces the per-AS-per-round map iteration + sort.
+//   - AS paths are immutable cons cells allocated from a block arena. A
+//     candidate path is the routing AS consed onto the neighbor's current
+//     path head — O(1), no slice copy — and comparisons (lexicographic
+//     tie-break, loop check, change detection) walk the cells. Because cells
+//     are snapshots, mid-convergence comparisons see exactly the paths the
+//     reference engine would materialize.
+//   - Rounds are change-driven: only ASes with a neighbor whose selection
+//     changed in the previous round are re-evaluated. An AS's selection
+//     depends only on its neighbors' previous-round selections (and its own
+//     origins), so skipping quiescent ASes cannot alter any round's table,
+//     and the work queue drains in a deterministic order derived from the
+//     changed set — never from map iteration or goroutine scheduling.
+//   - Updates are batched and applied at the end of each round, preserving
+//     the synchronous-round semantics of the reference engine (round r reads
+//     only round r-1 state), including its 4·|AS|+16 safety cap on malformed
+//     (cyclic provider graph) topologies.
+//
+// Prefix columns never interact, so ConvergeWorkers fans independent
+// prefixes across internal/parallel workers; each prefix's fixpoint is fully
+// self-contained and lands at its own table offset, making the result
+// bit-identical for every worker count.
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// pathNode is one hop of an AS path stored as an immutable cons cell: the
+// path of a route is its node's asn followed by the chain behind next, with
+// the origin AS last (next == nil). Nodes are shared between the adopting AS
+// and its neighbor's route, never mutated after allocation.
+type pathNode struct {
+	asn  ASN
+	next *pathNode
+}
+
+// nodeArena hands out pathNodes from fixed-size blocks so a convergence run
+// costs one allocation per block instead of one per selection change. Blocks
+// stay alive for as long as any table entry references a node inside them.
+type nodeArena struct {
+	block []pathNode
+	used  int
+}
+
+const arenaBlock = 256
+
+func (a *nodeArena) alloc(asn ASN, next *pathNode) *pathNode {
+	if a.used == len(a.block) {
+		a.block = make([]pathNode, arenaBlock)
+		a.used = 0
+	}
+	n := &a.block[a.used]
+	a.used++
+	n.asn = asn
+	n.next = next
+	return n
+}
+
+// chainContains reports whether asn appears anywhere in the chain.
+func chainContains(c *pathNode, asn ASN) bool {
+	for ; c != nil; c = c.next {
+		if c.asn == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// chainEqual reports whether two chains hold the same hops.
+func chainEqual(a, b *pathNode) bool {
+	for a != nil && b != nil {
+		if a == b {
+			return true // shared suffix: identical by construction
+		}
+		if a.asn != b.asn {
+			return false
+		}
+		a, b = a.next, b.next
+	}
+	return a == nil && b == nil
+}
+
+// entry is one dense routing-table cell: the selected route of one AS for
+// one prefix. head == nil means no route; otherwise head is the full path
+// (self first, origin last) and plen its length.
+type entry struct {
+	head    *pathNode
+	plen    int32
+	learned Relationship
+}
+
+// neighborEdge is one precompiled adjacency edge from the perspective of the
+// owning AS.
+type neighborEdge struct {
+	idx int32        // dense index of the neighbor
+	rel Relationship // how the owning AS marks routes learned from this neighbor
+	// receiveAll: the neighbor exports everything to us — either we are its
+	// customer, or it is flagged as a leaker. Otherwise valley-free export
+	// applies (origin/customer routes only).
+	receiveAll bool
+}
+
+// engine is the compiled form of a Topology, valid for one convergence run
+// (it snapshots origins, links, and leaker flags at compile time).
+type engine struct {
+	asns      []ASN
+	prefixes  []string
+	nbr       [][]neighborEdge // per AS, sorted by neighbor index ascending
+	origins   [][]int32        // per prefix, origin AS indices ascending (deduped)
+	maxRounds int
+}
+
+// compile interns the topology into dense form. Neighbor relationship
+// resolution matches Neighbors(): when an ASN is recorded under several link
+// sets, customer overrides provider and peer overrides both.
+func (t *Topology) compile() *engine {
+	asns := t.ASNs()
+	idx := make(map[ASN]int32, len(asns))
+	for i, n := range asns {
+		idx[n] = int32(i)
+	}
+
+	e := &engine{asns: asns, maxRounds: 4*len(asns) + 16}
+	e.nbr = make([][]neighborEdge, len(asns))
+	for i, n := range asns {
+		rels := t.Neighbors(n)
+		edges := make([]neighborEdge, 0, len(rels))
+		for nb, rel := range rels {
+			other := t.ases[nb]
+			edges = append(edges, neighborEdge{
+				idx:        idx[nb],
+				rel:        rel,
+				receiveAll: other.customers[n] || other.leaker,
+			})
+		}
+		sort.Slice(edges, func(a, b int) bool { return edges[a].idx < edges[b].idx })
+		e.nbr[i] = edges
+	}
+
+	pfxIdx := make(map[string]int32)
+	for _, n := range asns {
+		for _, p := range t.ases[n].origins {
+			if _, ok := pfxIdx[p]; !ok {
+				pfxIdx[p] = 0
+				e.prefixes = append(e.prefixes, p)
+			}
+		}
+	}
+	sort.Strings(e.prefixes)
+	for i, p := range e.prefixes {
+		pfxIdx[p] = int32(i)
+	}
+	e.origins = make([][]int32, len(e.prefixes))
+	for i, n := range asns {
+		for _, p := range t.ases[n].origins {
+			pi := pfxIdx[p]
+			lst := e.origins[pi]
+			// ASes are visited in ascending index order, so the list stays
+			// sorted; the tail check drops duplicate originations.
+			if len(lst) == 0 || lst[len(lst)-1] != int32(i) {
+				e.origins[pi] = append(lst, int32(i))
+			}
+		}
+	}
+	return e
+}
+
+func (e *engine) originates(p int, i int32) bool {
+	for _, o := range e.origins[p] {
+		if o == i {
+			return true
+		}
+		if o > i {
+			return false
+		}
+	}
+	return false
+}
+
+// colUpdate is a pending synchronous-round write: entry e lands at AS idx
+// once the whole round has been evaluated against the previous round's
+// column.
+type colUpdate struct {
+	idx int32
+	e   entry
+}
+
+// convState is the reusable per-worker scratch of a prefix fixpoint. The
+// arena is carried along so successive prefixes fill partially used blocks,
+// but nodes themselves are never reused — finished tables keep their blocks
+// alive.
+type convState struct {
+	inQueue []bool
+	queue   []int32
+	changed []int32
+	updates []colUpdate
+	arena   nodeArena
+}
+
+// convergePrefix runs the change-driven fixpoint for prefix p, writing the
+// final column (one entry per AS, dense index order) into col. col must be
+// zeroed on entry.
+func (e *engine) convergePrefix(p int, col []entry, st *convState) {
+	// Round 0 of the reference engine sees only empty tables, so exactly the
+	// origin ASes obtain a route. Seed those and mark them changed.
+	st.changed = st.changed[:0]
+	for _, o := range e.origins[p] {
+		col[o] = entry{head: st.arena.alloc(e.asns[o], nil), plen: 1, learned: Origin}
+		st.changed = append(st.changed, o)
+	}
+	for round := 1; round < e.maxRounds && len(st.changed) > 0; round++ {
+		// Queue exactly the ASes whose inputs changed last round: the
+		// neighbors of every changed AS. The queue order is a deterministic
+		// function of the changed set; evaluation order cannot affect the
+		// outcome because all reads hit the previous round's column.
+		st.queue = st.queue[:0]
+		for _, c := range st.changed {
+			for _, ed := range e.nbr[c] {
+				if !st.inQueue[ed.idx] {
+					st.inQueue[ed.idx] = true
+					st.queue = append(st.queue, ed.idx)
+				}
+			}
+		}
+		st.updates = st.updates[:0]
+		for _, i := range st.queue {
+			st.inQueue[i] = false
+			if ne, changed := e.selectBest(i, p, col, &st.arena); changed {
+				st.updates = append(st.updates, colUpdate{idx: i, e: ne})
+			}
+		}
+		// Apply the batch: the round was fully evaluated against round-1
+		// state, matching the reference engine's synchronous semantics.
+		st.changed = st.changed[:0]
+		for _, u := range st.updates {
+			col[u.idx] = u.e
+			st.changed = append(st.changed, u.idx)
+		}
+	}
+}
+
+// selectBest recomputes AS i's selection for prefix p from the current
+// column and reports whether it differs from the incumbent entry. A best
+// candidate is tracked as (relationship, length, tail) where the full path
+// is self consed onto tail; the origin candidate has a nil tail. A node is
+// allocated only when the selection actually changed.
+func (e *engine) selectBest(i int32, p int, col []entry, arena *nodeArena) (entry, bool) {
+	self := e.asns[i]
+	var bestRel Relationship
+	var bestLen int32
+	var bestTail *pathNode
+	has := false
+	if e.originates(p, i) {
+		bestRel, bestLen, bestTail, has = Origin, 1, nil, true
+	}
+	for _, ed := range e.nbr[i] {
+		ne := &col[ed.idx]
+		if ne.head == nil {
+			continue
+		}
+		// Export policy from the neighbor's side: we receive everything if
+		// we are its customer or it leaks; otherwise only origin/customer
+		// routes (valley-free).
+		if !ed.receiveAll && ne.learned != Origin && ne.learned != FromCustomer {
+			continue
+		}
+		// Loop prevention: reject paths already containing us.
+		if chainContains(ne.head, self) {
+			continue
+		}
+		candLen := ne.plen + 1
+		if has && !candBetter(ed.rel, candLen, ne.head, bestRel, bestLen, bestTail) {
+			continue
+		}
+		bestRel, bestLen, bestTail, has = ed.rel, candLen, ne.head, true
+	}
+	old := &col[i]
+	if !has {
+		return entry{}, old.head != nil
+	}
+	if old.head != nil && old.learned == bestRel && old.plen == bestLen &&
+		chainEqual(old.head.next, bestTail) {
+		return *old, false
+	}
+	return entry{head: arena.alloc(self, bestTail), plen: bestLen, learned: bestRel}, true
+}
+
+// candBetter reports whether candidate a should replace incumbent b under
+// the standard decision order — higher local pref, then shorter path, then
+// lexicographically smaller path — mirroring better() in reference.go. Both
+// paths start with the same AS (self), so only the tails are compared.
+func candBetter(aRel Relationship, aLen int32, aTail *pathNode, bRel Relationship, bLen int32, bTail *pathNode) bool {
+	if aRel != bRel {
+		return aRel > bRel
+	}
+	if aLen != bLen {
+		return aLen < bLen
+	}
+	for aTail != nil && bTail != nil {
+		if aTail.asn != bTail.asn {
+			return aTail.asn < bTail.asn
+		}
+		aTail, bTail = aTail.next, bTail.next
+	}
+	return false
+}
+
+// Converge computes the Gao–Rexford routing fixpoint and returns the
+// resulting tables. Each (logical) round, an AS recomputes its best route
+// per prefix from its neighbors' previous-round selections — synchronous
+// Bellman–Ford over policies — but only ASes whose neighborhood actually
+// changed are re-evaluated, and prefixes converge independently over flat
+// interned tables (see the package comment of engine.go). The result is
+// bit-identical to the original whole-topology loop, which survives as
+// convergeReference for the equivalence tests.
+//
+// Valley-free export: a neighbor's route is a candidate only if that
+// neighbor originated it or learned it from a customer, unless we are the
+// neighbor's customer (customers receive everything).
+//
+// Gao–Rexford guarantees convergence when the provider–customer graph is
+// acyclic; a safety cap of 4·|AS|+16 rounds guards malformed topologies.
+func (t *Topology) Converge() *RoutingTables {
+	return t.ConvergeWorkers(1)
+}
+
+// ConvergeWorkers is Converge with the independent per-prefix fixpoints
+// fanned out across at most workers goroutines (workers <= 0 means
+// GOMAXPROCS; 1 runs serially on the calling goroutine). Every prefix's
+// column is self-contained and lands at its own table offset, so the result
+// is bit-identical for every worker count. Prefer it over Converge when a
+// single large topology converges on an otherwise idle machine; when many
+// scenarios already run in parallel (the sweep entry points), the serial
+// engine per scenario avoids oversubscription.
+func (t *Topology) ConvergeWorkers(workers int) *RoutingTables {
+	e := t.compile()
+	rt := newRoutingTables(e.asns, e.prefixes)
+	nAS := len(e.asns)
+	if nAS == 0 || len(e.prefixes) == 0 {
+		return rt
+	}
+	pool := sync.Pool{New: func() any {
+		return &convState{inQueue: make([]bool, nAS)}
+	}}
+	err := parallel.ForEach(context.Background(), len(e.prefixes), workers, func(p int) error {
+		st := pool.Get().(*convState)
+		e.convergePrefix(p, rt.entries[p*nAS:(p+1)*nAS], st)
+		pool.Put(st)
+		return nil
+	})
+	if err != nil {
+		// The tasks never return errors and the context is never cancelled,
+		// so only a worker panic can land here; re-raise it.
+		panic(err)
+	}
+	return rt
+}

@@ -1,0 +1,96 @@
+package bgpsim
+
+// Benchmarks for the compiled routing engine at three topology scales,
+// against the reference loop, and end-to-end through the leak sweep. Run
+// them all with allocation stats via
+//
+//	make bench-json
+//
+// which records the results in BENCH_bgpsim.json (the committed perf
+// baseline).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// benchSizes are the three BuildHierarchy scales: ≈100, ≈1k, and ≈5k ASes
+// (3 tier-1s + mids + stubs). At 5k the full all-stubs prefix set would make
+// each table ~21M cells, so keepEvery thins the originations to every 16th
+// stub — the benchmark then measures per-prefix convergence cost at large AS
+// counts rather than sheer table size.
+var benchSizes = []struct {
+	name      string
+	nMid      int
+	nStub     int
+	keepEvery int
+}{
+	{"as100", 16, 80, 1},
+	{"as1k", 160, 840, 1},
+	{"as5k", 800, 4200, 16},
+}
+
+func benchTopology(b *testing.B, nMid, nStub, keepEvery int) *Topology {
+	b.Helper()
+	h, err := BuildHierarchy(rng.New(1), nMid, nStub)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if keepEvery > 1 {
+		for i, s := range h.Stubs {
+			if i%keepEvery != 0 {
+				h.Topo.WithdrawOrigin(s, fmt.Sprintf("pfx-%d", s))
+			}
+		}
+	}
+	return h.Topo
+}
+
+func benchmarkConverge(b *testing.B, workers int) {
+	for _, s := range benchSizes {
+		b.Run(s.name, func(b *testing.B) {
+			topo := benchTopology(b, s.nMid, s.nStub, s.keepEvery)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = topo.ConvergeWorkers(workers)
+			}
+		})
+	}
+}
+
+func BenchmarkConvergeSerial(b *testing.B)   { benchmarkConverge(b, 1) }
+func BenchmarkConvergeParallel(b *testing.B) { benchmarkConverge(b, 0) }
+
+// BenchmarkConvergeReference measures the original map-based loop for the
+// allocation and time baseline. The 5k scale is omitted: the naive loop is
+// prohibitively slow there, which is the point of the rewrite.
+func BenchmarkConvergeReference(b *testing.B) {
+	for _, s := range benchSizes {
+		if s.name == "as5k" {
+			continue
+		}
+		b.Run(s.name, func(b *testing.B) {
+			topo := benchTopology(b, s.nMid, s.nStub, s.keepEvery)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = topo.convergeReference()
+			}
+		})
+	}
+}
+
+// BenchmarkLeakSweepEndToEnd measures the E14 pipeline at a larger scale
+// than the recorded table (41 full convergences over a ~200-AS hierarchy):
+// build, mark each leaker, converge, blast radius, clear.
+func BenchmarkLeakSweepEndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunLeakSweep(40, 160, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

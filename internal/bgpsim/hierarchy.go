@@ -85,8 +85,17 @@ type LeakRow struct {
 // RunLeakSweep builds a hierarchy, then measures the blast radius of a leak
 // by a representative stub and by each mid-tier AS, against a randomly
 // chosen victim prefix. Rows are sorted by the order tried (stub first,
-// then mids ascending).
+// then mids ascending). The per-scenario convergences run their prefixes on
+// GOMAXPROCS workers; see RunLeakSweepWorkers for the knob.
 func RunLeakSweep(nMid, nStub int, seed uint64) ([]LeakRow, error) {
+	return RunLeakSweepWorkers(nMid, nStub, seed, 0)
+}
+
+// RunLeakSweepWorkers is RunLeakSweep with each convergence fanning its
+// independent prefixes across at most workers goroutines (workers <= 0 means
+// GOMAXPROCS). Convergence is bit-identical for every worker count, so the
+// rows are too.
+func RunLeakSweepWorkers(nMid, nStub int, seed uint64, workers int) ([]LeakRow, error) {
 	r := rng.New(seed)
 	h, err := BuildHierarchy(r.Split(), nMid, nStub)
 	if err != nil {
@@ -97,7 +106,7 @@ func RunLeakSweep(nMid, nStub int, seed uint64) ([]LeakRow, error) {
 
 	measure := func(kind string, leaker ASN) LeakRow {
 		h.Topo.MarkLeaker(leaker)
-		rt := h.Topo.Converge()
+		rt := h.Topo.ConvergeWorkers(workers)
 		affected, reachable := BlastRadius(rt, leaker, prefix)
 		h.Topo.ClearLeaker(leaker)
 		row := LeakRow{
@@ -148,8 +157,17 @@ type HijackRow struct {
 // originates the victim's prefix, and every AS picks whichever origin its
 // policies prefer. Like leaks, the blast radius is economic: an attacker
 // close to many customers captures more of the network. One representative
-// stub and every mid-tier AS attack in turn.
+// stub and every mid-tier AS attack in turn. The per-scenario convergences
+// run their prefixes on GOMAXPROCS workers; see RunHijackSweepWorkers.
 func RunHijackSweep(nMid, nStub int, seed uint64) ([]HijackRow, error) {
+	return RunHijackSweepWorkers(nMid, nStub, seed, 0)
+}
+
+// RunHijackSweepWorkers is RunHijackSweep with each convergence fanning its
+// independent prefixes across at most workers goroutines (workers <= 0 means
+// GOMAXPROCS). Convergence is bit-identical for every worker count, so the
+// rows are too.
+func RunHijackSweepWorkers(nMid, nStub int, seed uint64, workers int) ([]HijackRow, error) {
 	r := rng.New(seed)
 	h, err := BuildHierarchy(r.Split(), nMid, nStub)
 	if err != nil {
@@ -162,7 +180,7 @@ func RunHijackSweep(nMid, nStub int, seed uint64) ([]HijackRow, error) {
 		if err := h.Topo.Originate(attacker, prefix); err != nil {
 			return HijackRow{}, err
 		}
-		rt := h.Topo.Converge()
+		rt := h.Topo.ConvergeWorkers(workers)
 		row := HijackRow{AttackerKind: kind, AttackerASN: attacker}
 		total := 0
 		for _, n := range h.Topo.ASNs() {

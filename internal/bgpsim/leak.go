@@ -35,35 +35,28 @@ func (t *Topology) IsLeaker(n ASN) bool {
 }
 
 // BlastRadius returns the ASes (other than the leaker) whose converged best
-// path to prefix traverses leaker, and the total AS count with a route to
-// the prefix — the standard measure of a leak's reach.
+// path to prefix traverses leaker, sorted ascending, and the total AS count
+// with a route to the prefix — the standard measure of a leak's reach.
 func BlastRadius(rt *RoutingTables, leaker ASN, prefix string) (affected []ASN, reachable int) {
-	for n, tbl := range rt.tables {
-		r := tbl[prefix]
-		if r == nil {
+	pi, ok := rt.pfxIdx[prefix]
+	if !ok {
+		return nil, 0
+	}
+	col := rt.entries[int(pi)*len(rt.asns) : (int(pi)+1)*len(rt.asns)]
+	// Dense indices are ascending ASNs, so affected comes out sorted.
+	for i := range col {
+		en := &col[i]
+		if en.head == nil {
 			continue
 		}
 		reachable++
+		n := rt.asns[i]
 		if n == leaker {
 			continue
 		}
-		for _, hop := range r.Path[1:] { // skip self
-			if hop == leaker {
-				affected = append(affected, n)
-				break
-			}
+		if chainContains(en.head.next, leaker) { // skip self hop
+			affected = append(affected, n)
 		}
 	}
-	sortASNs(affected)
 	return affected, reachable
-}
-
-func sortASNs(s []ASN) {
-	for i := 0; i < len(s); i++ {
-		for j := i + 1; j < len(s); j++ {
-			if s[j] < s[i] {
-				s[i], s[j] = s[j], s[i]
-			}
-		}
-	}
 }
