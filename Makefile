@@ -1,17 +1,26 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race bench bench-json report examples clean
+.PHONY: all check build vet lint test test-race bench bench-json report examples clean
 
-all: build vet test test-race
+all: build vet lint test test-race
 
-# Fast pre-commit gate: compile, vet, unit tests (no race detector).
-check: build vet test
+# Fast pre-commit gate: compile, vet, determinism lint, unit tests (no race
+# detector).
+check: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Run the repo's determinism linters (internal/analysis via cmd/humnetlint):
+# rangemap, wildrand, errdrop, paraccum. Exits nonzero on findings. Use
+# `go run ./cmd/humnetlint -json` for machine-readable output (CI
+# annotation) and //humnet:allow <rule> -- <reason> for documented
+# exceptions; see DESIGN.md "Determinism invariants".
+lint:
+	$(GO) run ./cmd/humnetlint
 
 test:
 	$(GO) test ./...

@@ -105,7 +105,9 @@ func main() {
 	}
 	buf = append(buf, '\n')
 	if *out == "" {
-		os.Stdout.Write(buf)
+		if _, err := os.Stdout.Write(buf); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags calls whose error result is silently discarded: a call used
+// as a bare expression statement even though the callee returns an error.
+// Errors must be handled or explicitly acknowledged with `_ =`; deferred
+// cleanup calls are out of scope (conventionally best-effort). Print-style
+// writes to stderr/stdout and writes into strings.Builder/bytes.Buffer
+// (documented to never fail) are exempt, matching errcheck's defaults.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "error results must be handled or explicitly discarded with _ =",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call, errType) || exemptErrDrop(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"result of %s includes an error that is discarded; handle it or assign to _",
+				exprString(call.Fun))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *Pass, call *ast.CallExpr, errType types.Type) bool {
+	t := pass.Pkg.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// neverFails lists receiver types whose Write* methods are documented to
+// always return a nil error.
+var neverFails = map[string]bool{
+	"*strings.Builder": true, "strings.Builder": true,
+	"*bytes.Buffer": true, "bytes.Buffer": true,
+}
+
+func exemptErrDrop(pass *Pass, call *ast.CallExpr) bool {
+	fn := pass.calleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return neverFails[types.TypeString(sig.Recv().Type(), nil)]
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	if hasPrefix(fn.Name(), "Print") {
+		return true // stdout convention, matching errcheck defaults
+	}
+	if hasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+		arg := call.Args[0]
+		if t := pass.Pkg.Info.TypeOf(arg); t != nil && neverFails[types.TypeString(t, nil)] {
+			return true
+		}
+		// Writes to the process-standard streams follow the Print rule.
+		if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok {
+			if obj := pass.Pkg.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+				return true
+			}
+		}
+	}
+	return false
+}

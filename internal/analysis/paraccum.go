@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ParAccum flags shared-state writes inside closures handed to the
+// internal/parallel primitives other than ReduceOrdered. Those primitives
+// run the closure concurrently in scheduling order, so the only write that
+// preserves the bit-identical-for-any-worker-count contract is one the task
+// owns: an element indexed by the task's own index parameter. Anything else
+// — appending to a captured slice, accumulating into a captured scalar,
+// writing a captured map — is a data race or a scheduling-order dependence;
+// ordered accumulation belongs in ReduceOrdered.
+var ParAccum = &Analyzer{
+	Name: "paraccum",
+	Doc:  "closures passed to internal/parallel must write only through their own index; ordered accumulation uses ReduceOrdered",
+	Run:  runParAccum,
+}
+
+const parallelPkgSuffix = "/internal/parallel"
+
+func runParAccum(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), parallelPkgSuffix) {
+				return true
+			}
+			if fn.Name() == "ReduceOrdered" {
+				return true // reduction runs on one goroutine in index order
+			}
+			for _, arg := range call.Args {
+				if fl, ok := arg.(*ast.FuncLit); ok {
+					checkClosure(pass, fn.Name(), fl)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkClosure walks a task closure's body looking for writes whose target
+// is captured from the enclosing scope and not owned via the index param.
+func checkClosure(pass *Pass, prim string, fl *ast.FuncLit) {
+	idx := indexParam(pass, fl)
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			if s != fl {
+				return false // a nested closure is not the task body
+			}
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true // definitions create task-locals
+			}
+			for _, lhs := range s.Lhs {
+				reportCapturedWrite(pass, prim, fl, idx, lhs)
+			}
+		case *ast.IncDecStmt:
+			reportCapturedWrite(pass, prim, fl, idx, s.X)
+		}
+		return true
+	})
+}
+
+// indexParam returns the object of the closure's index parameter (the first
+// parameter, by the internal/parallel calling convention), or nil.
+func indexParam(pass *Pass, fl *ast.FuncLit) types.Object {
+	params := fl.Type.Params
+	if params == nil || len(params.List) == 0 || len(params.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.Pkg.Info.ObjectOf(params.List[0].Names[0])
+}
+
+// reportCapturedWrite flags target unless it is a task-local or an element
+// indexed (at some level of the selector/index chain) by the index param.
+func reportCapturedWrite(pass *Pass, prim string, fl *ast.FuncLit, idx types.Object, target ast.Expr) {
+	e := target
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			// A slice/array element indexed by the task's own index is the
+			// one write a task owns. A map element never is: concurrent map
+			// writes race on the map's shared internals regardless of key.
+			if idx != nil && mentionsObj(pass, t.Index, idx) && !isMapIndex(pass, t) {
+				return // task-owned element: out[i], out[i].field, grid[i][j]
+			}
+			e = t.X
+		case *ast.Ident:
+			if t.Name == "_" {
+				return
+			}
+			obj := pass.Pkg.Info.ObjectOf(t)
+			if obj == nil || (obj.Pos() >= fl.Pos() && obj.Pos() < fl.End()) {
+				return // task-local
+			}
+			pass.Reportf(target.Pos(),
+				"write to %s captured by the closure passed to parallel.%s depends on scheduling order; write through index %s or use ReduceOrdered",
+				exprString(target), prim, idxName(idx))
+			return
+		default:
+			return // unknown shape: stay silent rather than guess
+		}
+	}
+}
+
+func idxName(idx types.Object) string {
+	if idx == nil {
+		return "parameter 0"
+	}
+	return idx.Name()
+}
+
+// isMapIndex reports whether the index expression indexes a map.
+func isMapIndex(pass *Pass, idx *ast.IndexExpr) bool {
+	t := pass.Pkg.Info.TypeOf(idx.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// mentionsObj reports whether expression e references obj.
+func mentionsObj(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Pkg.Info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RangeMap flags map iterations whose body lets iteration order escape:
+// appending to a slice declared outside the loop (unless the slice is sorted
+// afterwards — the collect-keys-then-sort idiom), accumulating floats into an
+// outer variable (float addition is not associative, so order changes bits),
+// or writing output to an outer writer. Any of these makes a result depend
+// on Go's randomized map iteration order, which breaks the repo's
+// bit-identical-across-runs-and-worker-counts contract.
+var RangeMap = &Analyzer{
+	Name: "rangemap",
+	Doc:  "map iteration must not leak order: no unsorted appends, float accumulation, or output writes in the loop body",
+	Run:  runRangeMap,
+}
+
+func runRangeMap(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		reported := make(map[token.Pos]bool)
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rs, enclosingFunc(stack), reported)
+			return true
+		})
+	}
+}
+
+// enclosingFunc returns the innermost function body on the node stack (the
+// last element is the node currently being visited).
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn
+		case *ast.FuncLit:
+			return fn
+		}
+	}
+	return nil
+}
+
+// checkMapRange scans one map-range body for order-leaking statements.
+// Nested map ranges are scanned again on their own visit; the reported set
+// dedupes hazards that sit inside several nested map loops.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, encl ast.Node, reported map[token.Pos]bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			checkRangeAssign(pass, rs, encl, s, reported)
+		case *ast.CallExpr:
+			checkRangeOutput(pass, rs, s, reported)
+		}
+		return true
+	})
+}
+
+func checkRangeAssign(pass *Pass, rs *ast.RangeStmt, encl ast.Node, s *ast.AssignStmt, reported map[token.Pos]bool) {
+	switch s.Tok {
+	case token.ASSIGN:
+		if len(s.Lhs) != len(s.Rhs) {
+			return
+		}
+		for i, rhs := range s.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !pass.isBuiltinAppend(call) {
+				continue
+			}
+			target := s.Lhs[i]
+			if pass.declaredWithin(target, rs.Pos(), rs.End()) {
+				continue // loop-local slice; order cannot outlive the loop
+			}
+			if idx, ok := target.(*ast.IndexExpr); ok && pass.mentionsRangeVar(idx.Index, rs) {
+				continue // keyed write: each map key is touched exactly once
+			}
+			if sortedAfter(pass, encl, rs, target) {
+				continue // collect-then-sort idiom
+			}
+			if !reported[s.Pos()] {
+				reported[s.Pos()] = true
+				pass.Reportf(s.Pos(),
+					"append to %s inside iteration over map %s leaks map order; sort %s afterwards or iterate sorted keys",
+					exprString(target), exprString(rs.X), exprString(target))
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		target := s.Lhs[0]
+		if idx, ok := target.(*ast.IndexExpr); ok && pass.mentionsRangeVar(idx.Index, rs) {
+			return // keyed write: each map key is touched exactly once
+		}
+		t := pass.Pkg.Info.TypeOf(target)
+		if t == nil || !isFloat(t) {
+			return
+		}
+		if pass.declaredWithin(target, rs.Pos(), rs.End()) {
+			return
+		}
+		if !reported[s.Pos()] {
+			reported[s.Pos()] = true
+			pass.Reportf(s.Pos(),
+				"floating-point accumulation into %s inside iteration over map %s is order-sensitive; iterate sorted keys",
+				exprString(target), exprString(rs.X))
+		}
+	}
+}
+
+// writeMethods are writer-mutating method names that serialize data in call
+// order; calling them per map iteration bakes map order into the output.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func checkRangeOutput(pass *Pass, rs *ast.RangeStmt, call *ast.CallExpr, reported map[token.Pos]bool) {
+	fn := pass.calleeFunc(call)
+	if fn == nil {
+		return
+	}
+	var sink ast.Expr // the writer that must be loop-local to be safe
+	switch {
+	case fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(hasPrefix(fn.Name(), "Print") || hasPrefix(fn.Name(), "Fprint")):
+		if hasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+			sink = call.Args[0]
+		}
+		// Print/Printf/Println write to the process-global stdout: never
+		// loop-local, always flagged.
+	case writeMethods[fn.Name()] && fn.Type().(*types.Signature).Recv() != nil:
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			sink = sel.X
+		}
+	default:
+		return
+	}
+	if sink != nil && pass.declaredWithin(sink, rs.Pos(), rs.End()) {
+		return // per-iteration buffer; its contents land somewhere keyed
+	}
+	if !reported[call.Pos()] {
+		reported[call.Pos()] = true
+		pass.Reportf(call.Pos(),
+			"output written inside iteration over map %s follows map order; iterate sorted keys",
+			exprString(rs.X))
+	}
+}
+
+// sortedAfter reports whether, later in the enclosing function, target is
+// passed to a sort call — the collect-keys-then-sort idiom. The scan is a
+// deliberate over-approximation (any later sort in the function counts);
+// it can only hide a finding, never invent one.
+func sortedAfter(pass *Pass, encl ast.Node, rs *ast.RangeStmt, target ast.Expr) bool {
+	if encl == nil {
+		return false
+	}
+	want := exprString(target)
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		if pass.isSortCall(call) && len(call.Args) > 0 && exprString(call.Args[0]) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// sortFuncs lists the stdlib sorters recognized as establishing order.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Sort": true, "Stable": true, "Strings": true, "Ints": true,
+		"Float64s": true, "Slice": true, "SliceStable": true,
+	},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+func (p *Pass) isSortCall(call *ast.CallExpr) bool {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	names := sortFuncs[fn.Pkg().Path()]
+	return names != nil && names[fn.Name()]
+}
+
+func (p *Pass) isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// mentionsRangeVar reports whether e references the key or value variable of
+// the range statement.
+func (p *Pass) mentionsRangeVar(e ast.Expr, rs *ast.RangeStmt) bool {
+	var objs []types.Object
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+			if o := p.Pkg.Info.ObjectOf(id); o != nil {
+				objs = append(objs, o)
+			}
+		}
+	}
+	if len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		o := p.Pkg.Info.ObjectOf(id)
+		for _, want := range objs {
+			if o == want {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

@@ -1,0 +1,34 @@
+// Package errdropfix exercises the errdrop analyzer.
+package errdropfix
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Drop discards os.Remove's error.
+func Drop(path string) {
+	os.Remove(path) // want "error that is discarded"
+}
+
+// DropFprintf writes to an arbitrary writer, which can fail.
+func DropFprintf(w io.Writer) {
+	fmt.Fprintf(w, "hello\n") // want "error that is discarded"
+}
+
+func failing() error { return nil }
+
+// DropLocal discards a local function's error.
+func DropLocal() {
+	failing() // want "error that is discarded"
+}
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+// DropMethod discards a method's error.
+func DropMethod(c closer) {
+	c.Close() // want "error that is discarded"
+}

@@ -1,0 +1,35 @@
+package errdropfix
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Handled propagates the error.
+func Handled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Explicit acknowledges the discard; that is the documented escape hatch.
+func Explicit(path string) {
+	_ = os.Remove(path)
+}
+
+// PrintFamily: stdout/stderr prints and never-failing builders are exempt,
+// matching errcheck's defaults.
+func PrintFamily(b *strings.Builder, buf *bytes.Buffer) {
+	fmt.Println("stdout is best-effort")
+	fmt.Fprintf(os.Stderr, "stderr too\n")
+	fmt.Fprintf(b, "builders never fail\n")
+	fmt.Fprintf(buf, "nor buffers\n")
+	b.WriteString("x")
+	buf.WriteString("y")
+}
+
+// NoError calls a function with no error result.
+func NoError() int { return len("x") }

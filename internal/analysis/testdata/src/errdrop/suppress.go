@@ -1,0 +1,9 @@
+package errdropfix
+
+import "os"
+
+// BestEffortCleanup documents an accepted discard.
+func BestEffortCleanup(dir string) {
+	//humnet:allow errdrop -- fixture: cleanup is best-effort, the dir may already be gone
+	os.RemoveAll(dir)
+}

@@ -1,0 +1,50 @@
+// Package paraccumfix exercises the paraccum analyzer against the real
+// repro/internal/parallel API.
+package paraccumfix
+
+import (
+	"context"
+
+	"repro/internal/parallel"
+)
+
+// SharedAccum races on a captured scalar and depends on scheduling order.
+func SharedAccum(xs []float64) float64 {
+	var sum float64
+	_ = parallel.ForEach(context.Background(), len(xs), 4, func(i int) error {
+		sum += xs[i] // want "write to sum captured by the closure"
+		return nil
+	})
+	return sum
+}
+
+// SharedAppend's element order is the workers' finish order.
+func SharedAppend(n int) []int {
+	var out []int
+	_ = parallel.ForEach(context.Background(), n, 0, func(i int) error {
+		out = append(out, i*i) // want "write to out captured by the closure"
+		return nil
+	})
+	return out
+}
+
+// SharedMapWrite races on the map's internals even though the key mentions
+// the index parameter.
+func SharedMapWrite(n int) map[int]bool {
+	seen := make(map[int]bool)
+	_, _ = parallel.Map(context.Background(), n, 2, func(i int) (int, error) {
+		seen[i%3] = true // want "write to seen"
+		return i, nil
+	})
+	return seen
+}
+
+// SharedFixedSlot writes every task into element zero.
+func SharedFixedSlot(xs []float64) float64 {
+	out := make([]float64, 1)
+	_ = parallel.ForEach(context.Background(), len(xs), 0, func(i int) error {
+		out[0] = xs[i] // want "write to out"
+		return nil
+	})
+	return out[0]
+}

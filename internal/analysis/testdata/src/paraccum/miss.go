@@ -1,0 +1,53 @@
+package paraccumfix
+
+import (
+	"context"
+
+	"repro/internal/parallel"
+)
+
+// OwnIndex is the sanctioned pattern: each task writes only its own slot.
+func OwnIndex(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	_ = parallel.ForEach(context.Background(), len(xs), 0, func(i int) error {
+		out[i] = xs[i] * 2
+		return nil
+	})
+	return out
+}
+
+type cell struct{ v float64 }
+
+// OwnField writes a field of the task's own element.
+func OwnField(n int) []cell {
+	out := make([]cell, n)
+	_ = parallel.ForEach(context.Background(), n, 0, func(i int) error {
+		out[i].v = float64(i)
+		return nil
+	})
+	return out
+}
+
+// Locals are task-private; defining and mutating them is fine.
+func Locals(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	_ = parallel.ForEach(context.Background(), len(xs), 0, func(i int) error {
+		acc := 0.0
+		for j := 0; j < 3; j++ {
+			acc += xs[i]
+		}
+		out[i] = acc
+		return nil
+	})
+	return out
+}
+
+// OrderedSum is what ReduceOrdered exists for: shared accumulation runs on
+// one goroutine in index order and stays bit-identical.
+func OrderedSum(xs []float64) float64 {
+	var sum float64
+	_ = parallel.ReduceOrdered(context.Background(), len(xs), 0,
+		func(i int) (float64, error) { return xs[i], nil },
+		func(_ int, v float64) error { sum += v; return nil })
+	return sum
+}

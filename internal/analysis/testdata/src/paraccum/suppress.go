@@ -1,0 +1,22 @@
+package paraccumfix
+
+import (
+	"context"
+
+	"repro/internal/parallel"
+)
+
+// Batched writes disjoint index ranges — safe, but beyond the analyzer's
+// reasoning; the suppression documents the ownership argument.
+func Batched(xs []float64, batch int) []float64 {
+	out := make([]float64, len(xs))
+	nb := (len(xs) + batch - 1) / batch
+	_ = parallel.ForEach(context.Background(), nb, 0, func(b int) error {
+		for i := b * batch; i < len(xs) && i < (b+1)*batch; i++ {
+			//humnet:allow paraccum -- fixture: batch b owns the disjoint range [b*batch,(b+1)*batch)
+			out[i] = xs[i] * xs[i]
+		}
+		return nil
+	})
+	return out
+}

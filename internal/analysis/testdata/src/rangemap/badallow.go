@@ -1,0 +1,17 @@
+package rangemapfix
+
+// Malformed suppression comments are findings themselves: a suppression
+// without a reason (or naming an unknown rule) must not silently succeed.
+func MalformedNoReason(m map[string]int) int {
+	n := 0
+	for range m {
+		//humnet:allow rangemap without the reason separator // want "malformed suppression comment"
+		n++
+	}
+	return n
+}
+
+func MalformedUnknownRule() {
+	//humnet:allow notarule -- the rule name does not exist // want "suppression names unknown rule"
+	_ = 0
+}

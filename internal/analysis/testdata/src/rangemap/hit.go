@@ -1,0 +1,50 @@
+// Package rangemapfix exercises the rangemap analyzer: positive hits,
+// sorted-key negatives, and suppression comments.
+package rangemapfix
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// AppendNoSort leaks map iteration order into the returned slice.
+func AppendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside iteration over map m"
+	}
+	return keys
+}
+
+// FloatAccum sums floats in map order: the low bits differ run-to-run.
+func FloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation into sum"
+	}
+	return sum
+}
+
+// PrintOrder serializes entries in map order to stdout.
+func PrintOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "output written inside iteration over map m"
+	}
+}
+
+// FprintOrder serializes entries in map order to an outer writer.
+func FprintOrder(m map[string]int, w *os.File) {
+	for k := range m {
+		fmt.Fprintln(w, k) // want "output written inside iteration over map m"
+	}
+}
+
+// BuilderOrder bakes map order into an outer builder.
+func BuilderOrder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "output written inside iteration over map m"
+	}
+	return b.String()
+}

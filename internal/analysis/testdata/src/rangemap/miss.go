@@ -1,0 +1,79 @@
+package rangemapfix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CollectThenSort is the sanctioned idiom: order is re-established.
+func CollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortSliceAfter re-establishes order with a comparator sort.
+func SortSliceAfter(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KeyedWrites touch each key exactly once; order cannot escape.
+func KeyedWrites(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	for k := range m {
+		out[k] /= 2
+	}
+	return out
+}
+
+// KeyedAppend lands each value in its own keyed slot.
+func KeyedAppend(m map[string]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, v := range m {
+		out[k] = append(out[k], v)
+	}
+	return out
+}
+
+// IntCount is associative; only float accumulation is order-sensitive.
+func IntCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// LocalBuffer builds a per-iteration string that lands in a keyed slot.
+func LocalBuffer(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var b strings.Builder
+		b.WriteString(fmt.Sprintf("%s=%d", k, v))
+		out[k] = b.String()
+	}
+	return out
+}
+
+// LoopLocalSlice never outlives one iteration.
+func LoopLocalSlice(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var dup []int
+		dup = append(dup, vs...)
+		total += len(dup)
+	}
+	return total
+}

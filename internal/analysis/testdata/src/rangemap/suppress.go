@@ -1,0 +1,21 @@
+package rangemapfix
+
+// Suppressed violations are documented, not silent: the comment names the
+// rule and carries a reason.
+func Suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//humnet:allow rangemap -- fixture: the caller sorts before any ordered consumption
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SuppressedSameLine uses the trailing-comment form.
+func SuppressedSameLine(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //humnet:allow rangemap -- fixture: sum feeds an order-insensitive threshold test
+	}
+	return sum
+}

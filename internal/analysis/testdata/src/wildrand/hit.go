@@ -1,0 +1,24 @@
+// Package wildrandfix exercises the wildrand analyzer. The harness loads it
+// under an internal/ import path so the simulation-package gate applies.
+package wildrandfix
+
+import (
+	"math/rand" // want "import of math/rand"
+	"os"
+	"time"
+)
+
+// Jitter draws from the global generator and the wall clock.
+func Jitter() float64 {
+	return rand.Float64() + float64(time.Now().UnixNano()) // want "time.Now injects ambient state"
+}
+
+// Elapsed reads the wall clock.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since injects ambient state"
+}
+
+// Env reads ambient configuration.
+func Env() string {
+	return os.Getenv("HOME") // want "os.Getenv injects ambient state"
+}

@@ -1,0 +1,14 @@
+package wildrandfix
+
+import (
+	"time"
+
+	"repro/internal/rng"
+)
+
+// SeededDraw is the sanctioned pattern: randomness from an explicit seed.
+func SeededDraw(r *rng.Rand) float64 { return r.Float64() }
+
+// Horizon works with injected timestamps; the time package itself is fine,
+// only Now/Since are ambient.
+func Horizon(now time.Time, d time.Duration) time.Time { return now.Add(d) }

@@ -1,0 +1,10 @@
+package wildrandfix
+
+import "os"
+
+// DebugKnob documents an accepted exception: the value never reaches a
+// simulation result.
+func DebugKnob() string {
+	//humnet:allow wildrand -- fixture: debug-only knob, never read inside simulations
+	return os.Getenv("HUMNET_DEBUG")
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// WildRand flags ambient nondeterminism in internal simulation packages:
+// math/rand (seeded from global state), time.Now/time.Since (wall clock),
+// and os.Getenv (environment). Every stochastic component must draw from an
+// explicitly seeded *rng.Rand and every timing-like quantity must be an
+// injected value, or results stop being reproducible from a seed alone.
+// internal/rng is exempt: it is the sanctioned home of randomness.
+var WildRand = &Analyzer{
+	Name: "wildrand",
+	Doc:  "simulation packages must not use math/rand, time.Now/Since, or os.Getenv; randomness flows through internal/rng",
+	Run:  runWildRand,
+}
+
+// wildCalls maps package path -> forbidden top-level names.
+var wildCalls = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true},
+	"os":   {"Getenv": true},
+}
+
+func runWildRand(pass *Pass) {
+	path := pass.Pkg.Path
+	if !strings.Contains(path, "/internal/") || strings.HasSuffix(path, "/internal/rng") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, imp := range file.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == "math/rand" || p == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s in a simulation package; use the seedable repro/internal/rng instead", p)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if names := wildCalls[obj.Pkg().Path()]; names != nil && names[obj.Name()] {
+				pass.Reportf(sel.Pos(),
+					"%s.%s injects ambient state into a simulation package; take the value as a parameter instead",
+					obj.Pkg().Path(), obj.Name())
+			}
+			return true
+		})
+	}
+}

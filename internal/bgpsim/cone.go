@@ -17,7 +17,14 @@ func (t *Topology) CustomerCone(n ASN) []ASN {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
+		// Visit customers in ASN order so the BFS frontier (and any future
+		// consumer of traversal order) is independent of map iteration order.
+		cs := make([]ASN, 0, len(t.ases[u].customers))
 		for c := range t.ases[u].customers {
+			cs = append(cs, c)
+		}
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+		for _, c := range cs {
 			if !seen[c] {
 				seen[c] = true
 				queue = append(queue, c)

@@ -2,6 +2,7 @@ package bgpsim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/rng"
 )
@@ -142,6 +143,7 @@ func providersOf(t *Topology, n ASN) []ASN {
 			out = append(out, nb)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -219,10 +219,14 @@ func RunE5(cfg GenConfig) ([]E5Row, error) {
 				}
 			}
 		}
+		// Collect counts then sort: Gini/TopKShare re-sort internally, but
+		// handing them map-ordered input would leave order-dependence one
+		// refactor away.
 		vals := make([]float64, 0, len(affCounts))
 		for _, cnt := range affCounts {
 			vals = append(vals, cnt)
 		}
+		sort.Float64s(vals)
 		row.AffiliationGini = stats.Gini(vals)
 		row.Top10AffilShare = stats.TopKShare(vals, 10)
 		if total > 0 {

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/rng"
 )
@@ -51,7 +52,15 @@ func BarabasiAlbert(n, m int, r *rng.Rand) *Graph {
 			t := endpoints[r.Intn(len(endpoints))]
 			chosen[t] = true
 		}
+		// Attach in sorted order: the endpoints list feeds later random
+		// draws, so map iteration order here would make the whole topology
+		// differ run-to-run despite a fixed seed.
+		targets := make([]int, 0, m)
 		for t := range chosen {
+			targets = append(targets, t)
+		}
+		sort.Ints(targets)
+		for _, t := range targets {
 			_ = g.AddEdge(u, t, 1)
 			endpoints = append(endpoints, u, t)
 		}

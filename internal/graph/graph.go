@@ -578,13 +578,20 @@ func (g *Graph) Modularity(label []int) float64 {
 			}
 		}
 	}
-	q := 0.0
-	for c, in := range inside {
-		q += in/total - (degSum[c]/total)*(degSum[c]/total)
+	// Accumulate per-community terms in sorted community order: float
+	// addition is not associative, so map order would change low bits
+	// run-to-run.
+	comms := make([]int, 0, len(degSum))
+	for c := range degSum {
+		comms = append(comms, c)
 	}
-	for c, d := range degSum {
-		if _, ok := inside[c]; !ok {
-			q -= (d / total) * (d / total)
+	sort.Ints(comms)
+	q := 0.0
+	for _, c := range comms {
+		if in, ok := inside[c]; ok {
+			q += in/total - (degSum[c]/total)*(degSum[c]/total)
+		} else {
+			q -= (degSum[c] / total) * (degSum[c] / total)
 		}
 	}
 	return q

@@ -2,6 +2,7 @@ package qualcode
 
 import (
 	"math"
+	"sort"
 )
 
 // CohenKappa returns Cohen's kappa for two coders on the binary decision
@@ -158,9 +159,16 @@ func (p *Project) KrippendorffAlpha() float64 {
 	if totalValues < 2 {
 		return math.NaN()
 	}
+	// Sum in sorted value order; float accumulation over map order would
+	// wobble the low bits of alpha run-to-run.
+	vkeys := make([]string, 0, len(freq))
+	for v := range freq {
+		vkeys = append(vkeys, v)
+	}
+	sort.Strings(vkeys)
 	var same float64
-	for _, f := range freq {
-		same += f * (f - 1)
+	for _, v := range vkeys {
+		same += freq[v] * (freq[v] - 1)
 	}
 	de := 1 - same/(totalValues*(totalValues-1))
 	if de == 0 {

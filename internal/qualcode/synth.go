@@ -2,6 +2,7 @@ package qualcode
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/rng"
@@ -61,14 +62,7 @@ func GenerateCorpus(cfg SynthConfig, r *rng.Rand) (*Project, Truth, error) {
 	for id := range cfg.Vocabulary {
 		codes = append(codes, id)
 	}
-	// Deterministic order.
-	for i := 0; i < len(codes); i++ {
-		for j := i + 1; j < len(codes); j++ {
-			if codes[j] < codes[i] {
-				codes[i], codes[j] = codes[j], codes[i]
-			}
-		}
-	}
+	sort.Strings(codes)
 	for _, id := range codes {
 		if err := cb.Add(Code{ID: id, Name: id, Definition: "synthetic code " + id}); err != nil {
 			return nil, nil, err

@@ -402,6 +402,7 @@ func BootstrapCIWorkers(xs []float64, fn func([]float64) float64, nresamples int
 			for j := range buf {
 				buf[j] = xs[br.Intn(len(xs))]
 			}
+			//humnet:allow paraccum -- batch bi owns the disjoint index range [start,end); no two tasks touch the same est element
 			est[i] = fn(buf)
 		}
 		return nil

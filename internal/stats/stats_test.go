@@ -265,12 +265,17 @@ func TestSummarizeNaNPropagates(t *testing.T) {
 	if s.N != 3 {
 		t.Errorf("N = %d, want 3", s.N)
 	}
-	for name, v := range map[string]float64{
-		"Mean": s.Mean, "Std": s.Std, "Min": s.Min, "P25": s.P25,
-		"Median": s.Median, "P75": s.P75, "P95": s.P95, "Max": s.Max,
+	// A slice keeps failure output in a stable order run-to-run; a map
+	// literal would report cases in random iteration order.
+	for _, tc := range []struct {
+		name string
+		v    float64
+	}{
+		{"Mean", s.Mean}, {"Std", s.Std}, {"Min", s.Min}, {"P25", s.P25},
+		{"Median", s.Median}, {"P75", s.P75}, {"P95", s.P95}, {"Max", s.Max},
 	} {
-		if !math.IsNaN(v) {
-			t.Errorf("%s = %g, want NaN for NaN-bearing input", name, v)
+		if !math.IsNaN(tc.v) {
+			t.Errorf("%s = %g, want NaN for NaN-bearing input", tc.name, tc.v)
 		}
 	}
 }

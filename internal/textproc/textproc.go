@@ -189,20 +189,34 @@ func (c *Corpus) TFIDF(i int) map[string]float64 {
 // Cosine returns the cosine similarity of two sparse vectors (0 when either
 // is empty or zero).
 func Cosine(a, b map[string]float64) float64 {
+	// Accumulate in sorted term order: float addition is not associative,
+	// so summing in map order would change the similarity's low bits
+	// run-to-run.
 	var dot, na, nb float64
-	for k, va := range a {
+	for _, k := range sortedTerms(a) {
+		va := a[k]
 		na += va * va
 		if vb, ok := b[k]; ok {
 			dot += va * vb
 		}
 	}
-	for _, vb := range b {
-		nb += vb * vb
+	for _, k := range sortedTerms(b) {
+		nb += b[k] * b[k]
 	}
 	if na == 0 || nb == 0 {
 		return 0
 	}
 	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// sortedTerms returns the keys of a sparse vector in sorted order.
+func sortedTerms(v map[string]float64) []string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Keyword is a term with a score, as returned by TopTerms.
