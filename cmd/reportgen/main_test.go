@@ -1,0 +1,17 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/clitest"
+)
+
+// TestSmoke runs the full report generation twice and requires identical
+// output: every experiment behind it is seeded, and the sweep workers
+// promise worker-count-independent results.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping `go run` smoke test in -short mode")
+	}
+	clitest.RunCLI(t, "-workers", "2")
+}

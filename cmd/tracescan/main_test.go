@@ -1,0 +1,17 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/clitest"
+)
+
+// TestSmoke runs the seeded trace scan twice per detector and requires
+// identical output.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping `go run` smoke test in -short mode")
+	}
+	clitest.RunCLI(t, "-seed", "5", "-detector", "zscore")
+	clitest.RunCLI(t, "-seed", "5", "-detector", "cusum")
+}

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/clitest"
+)
+
+// TestMainRuns executes the example end to end in-process. Examples report
+// errors via log.Fatal, so reaching the end with output is the pass
+// condition; the capture keeps example prose out of `go test` output.
+func TestMainRuns(t *testing.T) {
+	clitest.CaptureMain(t, main)
+}

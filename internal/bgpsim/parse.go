@@ -1,0 +1,197 @@
+package bgpsim
+
+// A line-oriented text format for topologies, so scenario files and fuzzers
+// can describe an AS graph without Go code. The grammar is one directive per
+// line, '#' starts a comment, blank lines are ignored:
+//
+//	as <asn> [name]          declare an AS (required before use)
+//	p2c <provider> <customer>  provider-customer transit edge
+//	peer <a> <b>             settlement-free peering edge
+//	origin <asn> <prefix>    asn originates prefix
+//	leaker <asn>             mark asn as violating export policy
+//
+// Parsing is strict: unknown directives, malformed ASNs, references to
+// undeclared ASes, and oversized inputs are errors, never silent skips —
+// a scenario file that drifts from the topology it claims to describe
+// would otherwise corrupt an experiment quietly.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parse limits. They bound the work a hostile (fuzzed) input can demand
+// while staying far above any scenario the experiments use.
+const (
+	maxParseLine = 1 << 10 // bytes per line
+	maxParseASes = 4096
+)
+
+// ParseTopology reads the text format from r and returns the topology.
+func ParseTopology(r io.Reader) (*Topology, error) {
+	t := NewTopology()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, maxParseLine), maxParseLine)
+	nAS := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		directive, args := fields[0], fields[1:]
+		var err error
+		switch directive {
+		case "as":
+			if len(args) < 1 || len(args) > 2 {
+				err = fmt.Errorf("want `as <asn> [name]`, got %d args", len(args))
+				break
+			}
+			if nAS >= maxParseASes {
+				err = fmt.Errorf("more than %d ASes", maxParseASes)
+				break
+			}
+			var n ASN
+			if n, err = parseASN(args[0]); err != nil {
+				break
+			}
+			info := ASInfo{}
+			if len(args) == 2 {
+				info.Name = args[1]
+			}
+			if err = t.AddAS(n, info); err == nil {
+				nAS++
+			}
+		case "p2c", "peer":
+			var a, b ASN
+			if a, b, err = parseASNPair(args); err != nil {
+				break
+			}
+			if directive == "p2c" {
+				err = t.AddProviderCustomer(a, b)
+			} else {
+				err = t.AddPeer(a, b)
+			}
+		case "origin":
+			if len(args) != 2 {
+				err = fmt.Errorf("want `origin <asn> <prefix>`, got %d args", len(args))
+				break
+			}
+			var n ASN
+			if n, err = parseASN(args[0]); err != nil {
+				break
+			}
+			err = t.Originate(n, args[1])
+		case "leaker":
+			if len(args) != 1 {
+				err = fmt.Errorf("want `leaker <asn>`, got %d args", len(args))
+				break
+			}
+			var n ASN
+			if n, err = parseASN(args[0]); err != nil {
+				break
+			}
+			if !t.MarkLeaker(n) {
+				err = fmt.Errorf("unknown AS %d", n)
+			}
+		default:
+			err = fmt.Errorf("unknown directive %q", directive)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bgpsim: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bgpsim: reading topology: %w", err)
+	}
+	return t, nil
+}
+
+// ParseTopologyString is ParseTopology over an in-memory document.
+func ParseTopologyString(s string) (*Topology, error) {
+	return ParseTopology(strings.NewReader(s))
+}
+
+// FormatTopology renders t back into the text format, in deterministic
+// order (ascending ASNs, providers/peers/origins sorted). ParseTopology ∘
+// FormatTopology is the identity on topology structure.
+func FormatTopology(t *Topology) string {
+	var b strings.Builder
+	asns := t.ASNs()
+	for _, n := range asns {
+		info, _ := t.Info(n)
+		if info.Name != "" && len(strings.Fields(info.Name)) == 1 {
+			fmt.Fprintf(&b, "as %d %s\n", n, info.Name)
+		} else {
+			fmt.Fprintf(&b, "as %d\n", n)
+		}
+	}
+	// Emit each edge once: p2c from the provider side, peer from the lower
+	// ASN side.
+	for _, n := range asns {
+		neighbors := t.Neighbors(n)
+		for _, nb := range sortedNeighborASNs(neighbors) {
+			switch neighbors[nb] {
+			case FromCustomer:
+				fmt.Fprintf(&b, "p2c %d %d\n", n, nb)
+			case FromPeer:
+				if n < nb {
+					fmt.Fprintf(&b, "peer %d %d\n", n, nb)
+				}
+			}
+		}
+	}
+	for _, n := range asns {
+		for _, pfx := range t.Origins(n) {
+			fmt.Fprintf(&b, "origin %d %s\n", n, pfx)
+		}
+	}
+	for _, n := range asns {
+		if t.IsLeaker(n) {
+			fmt.Fprintf(&b, "leaker %d\n", n)
+		}
+	}
+	return b.String()
+}
+
+// sortedNeighborASNs is the collect-keys-then-sort idiom over a neighbor map.
+func sortedNeighborASNs(neighbors map[ASN]Relationship) []ASN {
+	out := make([]ASN, 0, len(neighbors))
+	for nb := range neighbors {
+		out = append(out, nb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func parseASN(s string) (ASN, error) {
+	v, err := strconv.ParseInt(s, 10, 32)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad ASN %q", s)
+	}
+	return ASN(v), nil
+}
+
+func parseASNPair(args []string) (ASN, ASN, error) {
+	if len(args) != 2 {
+		return 0, 0, fmt.Errorf("want two ASNs, got %d args", len(args))
+	}
+	a, err := parseASN(args[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := parseASN(args[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}

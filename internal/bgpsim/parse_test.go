@@ -1,0 +1,139 @@
+package bgpsim
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleTopo = `# three-tier sample
+as 1 Tier1-A
+as 2 Tier1-B
+as 100 Mid
+as 1000 Stub
+peer 1 2
+p2c 1 100
+p2c 2 100
+p2c 100 1000
+origin 1000 pfx-1000
+leaker 100
+`
+
+func TestParseTopologySample(t *testing.T) {
+	topo, err := ParseTopologyString(sampleTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.ASNs()); got != 4 {
+		t.Fatalf("parsed %d ASes, want 4", got)
+	}
+	if !topo.HasPeer(1, 2) {
+		t.Error("peer 1 2 not applied")
+	}
+	if !topo.IsLeaker(100) {
+		t.Error("leaker 100 not applied")
+	}
+	rt := topo.Converge()
+	if !rt.Reachable(1, "pfx-1000") {
+		t.Error("converged topology cannot reach the stub prefix")
+	}
+}
+
+func TestParseTopologyRoundTrip(t *testing.T) {
+	topo, err := ParseTopologyString(sampleTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatTopology(topo)
+	topo2, err := ParseTopologyString(text)
+	if err != nil {
+		t.Fatalf("re-parsing formatted topology: %v\n%s", err, text)
+	}
+	if FormatTopology(topo2) != text {
+		t.Fatalf("format/parse/format not stable:\n--- first ---\n%s\n--- second ---\n%s",
+			text, FormatTopology(topo2))
+	}
+	ref1 := topo.convergeReference()
+	ref2 := topo2.convergeReference()
+	for n, tbl := range ref1 {
+		for pfx, want := range tbl {
+			if !routesEqual(ref2[n][pfx], want) {
+				t.Fatalf("round-tripped topology routes differently at AS %d prefix %s", n, pfx)
+			}
+		}
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "frob 1 2\n",
+		"bad ASN":           "as x\n",
+		"negative ASN":      "as -3\n",
+		"huge ASN":          "as 99999999999999999999\n",
+		"duplicate AS":      "as 1\nas 1\n",
+		"p2c unknown AS":    "as 1\np2c 1 2\n",
+		"peer arity":        "as 1\npeer 1\n",
+		"origin arity":      "as 1\norigin 1\n",
+		"leaker unknown":    "leaker 7\n",
+		"long line":         "as 1 " + strings.Repeat("x", 4096) + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseTopologyString(in); err == nil {
+			t.Errorf("%s: ParseTopologyString(%q) succeeded, want error", name, in)
+		}
+	}
+}
+
+func TestParseTopologyCommentsAndBlanks(t *testing.T) {
+	topo, err := ParseTopologyString("\n# comment only\n  \nas 5 # trailing comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.ASNs()); got != 1 {
+		t.Fatalf("parsed %d ASes, want 1", got)
+	}
+}
+
+// FuzzParseTopology drives the parser with arbitrary text; whenever a
+// topology parses, the compiled engine must match the reference fixpoint on
+// it — the parser doubles as a topology generator for the engine-equivalence
+// oracle. Seeds include shapes the property suite's generators produce
+// (multihoming, lateral peering, leakers).
+func FuzzParseTopology(f *testing.F) {
+	f.Add(sampleTopo)
+	f.Add("as 1\n")
+	f.Add("as 1\nas 2\npeer 1 2\norigin 1 p\norigin 2 p\n")
+	f.Add("as 1\nas 2\nas 3\np2c 1 2\np2c 2 3\np2c 1 3\norigin 3 pfx\nleaker 2\n")
+	f.Add("as 0\norigin 0 pfx-0\n")
+	f.Add("# comment\n\nas 10 name\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 2048 {
+			return // bound convergence cost, not parser coverage
+		}
+		topo, err := ParseTopologyString(text)
+		if err != nil {
+			return
+		}
+		rt := topo.Converge()
+		ref := topo.convergeReference()
+		for _, n := range topo.ASNs() {
+			for pfx := range ref[n] {
+				if !routesEqual(rt.Route(n, pfx), ref[n][pfx]) {
+					t.Fatalf("engine diverges from reference at AS %d prefix %q on:\n%s", n, pfx, text)
+				}
+			}
+		}
+		// The format must re-parse to an identically-routing topology.
+		topo2, err := ParseTopologyString(FormatTopology(topo))
+		if err != nil {
+			t.Fatalf("formatted topology does not re-parse: %v\n%s", err, FormatTopology(topo))
+		}
+		ref2 := topo2.convergeReference()
+		for n, tbl := range ref {
+			for pfx, want := range tbl {
+				if !routesEqual(ref2[n][pfx], want) {
+					t.Fatalf("round-trip changes routing at AS %d prefix %q on:\n%s", n, pfx, text)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+// Package clitest holds the shared machinery of the CLI and example smoke
+// tests: run a command twice and demand identical, non-empty, zero-exit
+// output (every cmd is seeded, so byte-identical reruns are part of the
+// contract), or capture an in-process main() for the examples.
+package clitest
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// RunCLI runs `go run .` in the calling test's package directory with the
+// given arguments, twice, and fails t unless both runs exit zero, produce
+// non-empty output, and produce the same bytes. It returns the output.
+// Callers should skip in -short mode; compiling via `go run` is not cheap.
+func RunCLI(t *testing.T, args ...string) []byte {
+	t.Helper()
+	first := runOnce(t, args)
+	second := runOnce(t, args)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("output not deterministic across reruns with args %v:\n--- first ---\n%s\n--- second ---\n%s",
+			args, first, second)
+	}
+	return first
+}
+
+func runOnce(t *testing.T, args []string) []byte {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run . %v failed: %v\n%s", args, err, out)
+	}
+	if len(bytes.TrimSpace(out)) == 0 {
+		t.Fatalf("go run . %v produced no output", args)
+	}
+	return out
+}
+
+// CaptureMain redirects stdout and stderr, invokes fn (an example's main),
+// restores them, and fails t if fn produced no output. Examples fail via
+// log.Fatal, which exits the test process loudly, so reaching the return
+// with output is the pass condition.
+func CaptureMain(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldOut, oldErr := os.Stdout, os.Stderr
+	os.Stdout, os.Stderr = w, w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	defer func() {
+		os.Stdout, os.Stderr = oldOut, oldErr
+	}()
+	fn()
+	os.Stdout, os.Stderr = oldOut, oldErr
+	_ = w.Close()
+	out := <-done
+	_ = r.Close()
+	if len(out) == 0 {
+		t.Fatal("example produced no output")
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package proptest
+
+import (
+	"math"
+)
+
+// Generator primitives. Each maps raw uint64 draws to values so that a
+// smaller draw yields a "simpler" value — zero, empty, false, the first
+// choice — which is what lets the tape shrinker minimize values without
+// generator-specific shrinking code. The modulo mapping trades a negligible
+// bias (2^-53-ish at the sizes used here) for that monotonicity.
+
+// Uint64 returns the next raw draw.
+func (g *G) Uint64() uint64 { return g.draw() }
+
+// Intn returns an int in [0, n). It panics if n <= 0.
+func (g *G) Intn(n int) int {
+	if n <= 0 {
+		panic("proptest: Intn needs n > 0")
+	}
+	return int(g.draw() % uint64(n))
+}
+
+// IntRange returns an int in [lo, hi] inclusive. It panics if lo > hi.
+func (g *G) IntRange(lo, hi int) int {
+	if lo > hi {
+		panic("proptest: IntRange needs lo <= hi")
+	}
+	return lo + g.Intn(hi-lo+1)
+}
+
+// Float64 returns a float64 in [0, 1).
+func (g *G) Float64() float64 {
+	return float64(g.draw()>>11) / (1 << 53)
+}
+
+// Float64Range returns a float64 in [lo, hi). It panics if lo > hi.
+func (g *G) Float64Range(lo, hi float64) float64 {
+	if lo > hi {
+		panic("proptest: Float64Range needs lo <= hi")
+	}
+	return lo + g.Float64()*(hi-lo)
+}
+
+// Bool returns true with probability p. A zero draw yields false, so
+// shrinking turns optional structure off.
+func (g *G) Bool(p float64) bool {
+	return g.Float64() >= 1-p
+}
+
+// floatCorners are the adversarial values Float64Corners injects. Index 0
+// is the simplest, so a shrunk corner collapses to plain zero.
+var floatCorners = []float64{
+	0,
+	math.NaN(),
+	math.Inf(1),
+	math.Inf(-1),
+	negZero,
+	math.MaxFloat64,
+	-math.MaxFloat64,
+	math.SmallestNonzeroFloat64,
+	1, -1, 0.5, -0.5,
+}
+
+var negZero = math.Copysign(0, -1)
+
+// Float64Corners returns a float64 that is frequently an IEEE edge case
+// (NaN, ±Inf, ±0, extreme magnitudes) and otherwise a wide-range finite
+// value. Use it to drive NaN-propagation and overflow invariants.
+func (g *G) Float64Corners() float64 {
+	if g.Intn(3) == 0 {
+		return floatCorners[g.Intn(len(floatCorners))]
+	}
+	return g.Float64Range(-1e9, 1e9)
+}
+
+// Floats returns a slice with length in [minLen, maxLen] filled by gen.
+func (g *G) Floats(minLen, maxLen int, gen func() float64) []float64 {
+	n := g.IntRange(minLen, maxLen)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = gen()
+	}
+	return xs
+}
+
+// FloatsIn returns a slice of finite float64s in [lo, hi) with length in
+// [minLen, maxLen].
+func (g *G) FloatsIn(minLen, maxLen int, lo, hi float64) []float64 {
+	return g.Floats(minLen, maxLen, func() float64 { return g.Float64Range(lo, hi) })
+}
+
+// FloatsWithCorners returns a slice of Float64Corners values with length in
+// [minLen, maxLen].
+func (g *G) FloatsWithCorners(minLen, maxLen int) []float64 {
+	return g.Floats(minLen, maxLen, g.Float64Corners)
+}
+
+// IntsIn returns a slice of ints in [lo, hi] with length in [minLen, maxLen].
+func (g *G) IntsIn(minLen, maxLen, lo, hi int) []int {
+	n := g.IntRange(minLen, maxLen)
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = g.IntRange(lo, hi)
+	}
+	return xs
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates over g's
+// draws). An all-zero tape region yields the rotation-by-one permutation —
+// deterministic, though not the identity.
+func (g *G) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := g.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Weighted returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. Negative or all-zero weights panic.
+func (g *G) Weighted(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("proptest: Weighted needs non-negative weights")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("proptest: Weighted needs a positive weight")
+	}
+	x := g.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if x < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// OneOf returns one of the given ints, the first being the shrink target.
+func (g *G) OneOf(choices ...int) int {
+	if len(choices) == 0 {
+		panic("proptest: OneOf needs at least one choice")
+	}
+	return choices[g.Intn(len(choices))]
+}
+
+// --- Metamorphic helpers -------------------------------------------------
+//
+// The standard input transformations for metamorphic relations: permute,
+// scale, duplicate. Each returns a fresh slice; inputs are never mutated.
+
+// Permuted returns a copy of xs reordered by a permutation drawn from g.
+func (g *G) Permuted(xs []float64) []float64 {
+	p := g.Perm(len(xs))
+	out := make([]float64, len(xs))
+	for i, j := range p {
+		out[i] = xs[j]
+	}
+	return out
+}
+
+// WithDuplicate returns a copy of xs with a random existing element
+// duplicated at a random position. It panics on empty input.
+func (g *G) WithDuplicate(xs []float64) []float64 {
+	if len(xs) == 0 {
+		panic("proptest: WithDuplicate needs a non-empty slice")
+	}
+	v := xs[g.Intn(len(xs))]
+	at := g.Intn(len(xs) + 1)
+	out := make([]float64, 0, len(xs)+1)
+	out = append(out, xs[:at]...)
+	out = append(out, v)
+	out = append(out, xs[at:]...)
+	return out
+}
+
+// Scaled returns xs with every element multiplied by c.
+func Scaled(xs []float64, c float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = c * x
+	}
+	return out
+}
+
+// ApproxEq reports whether a and b agree up to tol, treating the pair as
+// equal when both are NaN or both are the same infinity. tol is applied
+// both absolutely and relative to the larger magnitude, so it works across
+// scales.
+func ApproxEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+// FloatsApproxEq reports element-wise ApproxEq over equal-length slices.
+func FloatsApproxEq(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !ApproxEq(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// SameFloat reports bit-insensitive value identity: equal floats, or both
+// NaN. Use it for worker-count and replay invariants that promise
+// bit-identical output.
+func SameFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}

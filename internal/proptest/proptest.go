@@ -1,0 +1,252 @@
+// Package proptest is a stdlib-only, seeded property-based testing
+// framework in the spirit of testing/quick-meets-rapid, composed over the
+// repository's deterministic internal/rng.
+//
+// A property is a function from a generator handle *G to an error: nil
+// means the drawn scenario satisfied the invariant, non-nil (or a panic)
+// means it was falsified. The Run driver executes the property n times,
+// each iteration seeded deterministically from (seed, iteration), so a
+// failure is reproducible from the test source alone.
+//
+// Every random draw a property makes flows through G and is recorded on a
+// choice tape of raw uint64s. When a property fails, the tape — not the
+// generated values — is what gets minimized: the deterministic greedy
+// shrinker (shrink.go) deletes chunks of the tape and drives individual
+// entries toward zero, re-running the property after each edit and keeping
+// any edit that still fails. Because all G primitives map small raw draws
+// to "simple" values (zero ints, zero-length slices, false booleans,
+// lexicographically-first choices), tape minimality translates into value
+// minimality without per-generator shrinker code.
+//
+// The shrunk tape is printed as a replay token. Running the failing test
+// again with PROPTEST_REPLAY=<token> re-executes exactly that one
+// counterexample: the token embeds a hash of the test name, so only the
+// matching Run call replays while every other property runs normally.
+//
+// The per-call iteration budget n can be raised globally with PROPTEST_N
+// (`make prop` runs the suites at PROPTEST_N=2000), which scales every
+// suite without touching call sites.
+package proptest
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// G is the per-iteration generator handle handed to properties. It draws
+// values either from a seeded rng.Rand (generate mode, recording every raw
+// draw on the tape) or from a previously recorded tape (replay and shrink
+// modes, where an exhausted tape yields zeros). G is not safe for
+// concurrent use; a property runs on one goroutine.
+type G struct {
+	r      *rng.Rand // source in generate mode; nil in replay mode
+	tape   []uint64
+	pos    int // replay cursor
+	replay bool
+}
+
+// newGenG returns a recording handle over a fresh stream.
+func newGenG(r *rng.Rand) *G { return &G{r: r} }
+
+// newReplayG returns a handle that replays tape and zero-fills past its end.
+func newReplayG(tape []uint64) *G { return &G{tape: tape, replay: true} }
+
+// draw returns the next raw 64-bit choice. Every generator primitive
+// bottoms out here, which is what makes the tape a complete record of an
+// iteration.
+func (g *G) draw() uint64 {
+	if g.replay {
+		if g.pos >= len(g.tape) {
+			g.pos++
+			return 0
+		}
+		v := g.tape[g.pos]
+		g.pos++
+		return v
+	}
+	v := g.r.Uint64()
+	g.tape = append(g.tape, v)
+	return v
+}
+
+// Failure describes a falsified property: the (shrunk) counterexample tape,
+// the error the property reported on it, and the token that replays it.
+type Failure struct {
+	Name    string // property name the token is bound to (t.Name() under Run)
+	Seed    uint64
+	Iter    int   // iteration of the original (pre-shrink) failure
+	Err     error // property error on the shrunk tape
+	Tape    []uint64
+	Shrinks int // accepted shrink edits
+	Token   string
+}
+
+// Error renders the failure with its replay instructions.
+func (f *Failure) Error() string {
+	return fmt.Sprintf("property %s falsified (seed=%d iter=%d, %d shrinks):\n  %v\nreplay exactly this counterexample with:\n  PROPTEST_REPLAY=%s go test -run '%s'",
+		f.Name, f.Seed, f.Iter, f.Shrinks, f.Err, f.Token, runPattern(f.Name))
+}
+
+// runPattern turns a test name into a -run regexp selecting exactly it.
+func runPattern(name string) string {
+	parts := strings.Split(name, "/")
+	for i, p := range parts {
+		parts[i] = "^" + p + "$"
+	}
+	return strings.Join(parts, "/")
+}
+
+// runProp executes the property on g, converting panics into errors so the
+// shrinker can treat a panicking input like any other counterexample.
+func runProp(prop func(*G) error, g *G) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return prop(g)
+}
+
+// mix derives the per-iteration seed. SplitMix-style finalization keeps
+// nearby (seed, iter) pairs statistically independent.
+func mix(seed, iter uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(iter+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// budget returns the effective iteration count: n unless PROPTEST_N is set
+// to a positive integer, which overrides every call site uniformly.
+func budget(n int) int {
+	//humnet:allow wildrand -- PROPTEST_N is a test-harness iteration budget, not simulation state; properties stay seeded via internal/rng
+	if s := os.Getenv("PROPTEST_N"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return n
+}
+
+// replayEnv returns the PROPTEST_REPLAY token, if any.
+func replayEnv() string {
+	//humnet:allow wildrand -- PROPTEST_REPLAY selects which recorded counterexample to re-execute; it never feeds simulation randomness
+	return os.Getenv("PROPTEST_REPLAY")
+}
+
+// Check runs prop up to n times under name (used to bind replay tokens) and
+// returns the shrunk Failure of the first falsifying iteration, or nil when
+// every iteration passed. It is the engine beneath Run; tests of the
+// framework itself call it directly.
+func Check(name string, seed uint64, n int, prop func(*G) error) *Failure {
+	n = budget(n)
+	for i := 0; i < n; i++ {
+		g := newGenG(rng.New(mix(seed, uint64(i))))
+		err := runProp(prop, g)
+		if err == nil {
+			continue
+		}
+		tape, shrunkErr, steps := shrinkTape(prop, g.tape, err)
+		return &Failure{
+			Name:    name,
+			Seed:    seed,
+			Iter:    i,
+			Err:     shrunkErr,
+			Tape:    tape,
+			Shrinks: steps,
+			Token:   encodeToken(name, tape),
+		}
+	}
+	return nil
+}
+
+// Run drives prop for n iterations (subject to the PROPTEST_N override)
+// from the given seed and fails t with a shrunk counterexample and replay
+// token on falsification. If PROPTEST_REPLAY carries a token minted for
+// this exact test name, Run instead re-executes only that counterexample.
+func Run(t *testing.T, seed uint64, n int, prop func(*G) error) {
+	t.Helper()
+	if tok := replayEnv(); tok != "" {
+		nameHash, tape, err := decodeToken(tok)
+		if err != nil {
+			t.Fatalf("proptest: bad PROPTEST_REPLAY token: %v", err)
+		}
+		if nameHash != hashName(t.Name()) {
+			// Token belongs to a different property; this one runs normally.
+		} else {
+			if err := runProp(prop, newReplayG(tape)); err != nil {
+				t.Fatalf("proptest: replayed counterexample for %s still fails:\n  %v", t.Name(), err)
+			}
+			t.Logf("proptest: replayed counterexample for %s now passes", t.Name())
+			return
+		}
+	}
+	if f := Check(t.Name(), seed, n, prop); f != nil {
+		t.Fatal(f.Error())
+	}
+}
+
+// Replay re-executes the counterexample encoded in token against prop and
+// returns the property's error (nil when the property now passes). The
+// token's name binding is not checked — callers decide what to replay.
+func Replay(token string, prop func(*G) error) error {
+	_, tape, err := decodeToken(token)
+	if err != nil {
+		return fmt.Errorf("proptest: bad replay token: %w", err)
+	}
+	return runProp(prop, newReplayG(tape))
+}
+
+// hashName is the 32-bit name binding embedded in tokens.
+func hashName(name string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(name))
+	return h.Sum32()
+}
+
+// tokenVersion guards the encoding; bump when the tape semantics change.
+const tokenVersion = "pt1"
+
+// encodeToken packs a name hash and tape as pt1.<hash-hex>.<b64(varints)>.
+func encodeToken(name string, tape []uint64) string {
+	buf := make([]byte, 0, 10*len(tape))
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range tape {
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], v)]...)
+	}
+	return fmt.Sprintf("%s.%08x.%s", tokenVersion, hashName(name),
+		base64.RawURLEncoding.EncodeToString(buf))
+}
+
+// decodeToken reverses encodeToken.
+func decodeToken(tok string) (nameHash uint32, tape []uint64, err error) {
+	parts := strings.Split(tok, ".")
+	if len(parts) != 3 || parts[0] != tokenVersion {
+		return 0, nil, fmt.Errorf("want %s.<hash>.<tape>, got %q", tokenVersion, tok)
+	}
+	h, err := strconv.ParseUint(parts[1], 16, 32)
+	if err != nil {
+		return 0, nil, fmt.Errorf("bad name hash %q: %w", parts[1], err)
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(parts[2])
+	if err != nil {
+		return 0, nil, fmt.Errorf("bad tape encoding: %w", err)
+	}
+	for len(raw) > 0 {
+		v, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return 0, nil, fmt.Errorf("truncated varint in tape")
+		}
+		tape = append(tape, v)
+		raw = raw[n:]
+	}
+	return uint32(h), tape, nil
+}

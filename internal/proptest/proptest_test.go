@@ -1,0 +1,343 @@
+package proptest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestShrinkConvergesToBoundaryInt checks that the shrinker lands on the
+// exact boundary counterexample of a threshold property: the minimal
+// failing value of "x < 137" over [0, 10000] is 137 itself.
+func TestShrinkConvergesToBoundaryInt(t *testing.T) {
+	var final int
+	f := Check(t.Name(), 1, 500, func(g *G) error {
+		x := g.IntRange(0, 10000)
+		if x >= 137 {
+			final = x
+			return fmt.Errorf("x=%d crosses the threshold", x)
+		}
+		return nil
+	})
+	if f == nil {
+		t.Fatal("property should be falsifiable")
+	}
+	if final != 137 {
+		t.Fatalf("shrunk counterexample is %d, want exactly 137", final)
+	}
+	if len(f.Tape) != 1 || f.Tape[0] != 137 {
+		t.Fatalf("shrunk tape = %v, want [137]", f.Tape)
+	}
+}
+
+// TestShrinkMinimizesSlices checks structural shrinking: the minimal
+// counterexample of "len(xs) < 5" is a 5-element slice of minimal values.
+func TestShrinkMinimizesSlices(t *testing.T) {
+	var final []float64
+	f := Check(t.Name(), 2, 500, func(g *G) error {
+		xs := g.FloatsIn(0, 40, 1, 100)
+		if len(xs) >= 5 {
+			final = xs
+			return fmt.Errorf("len=%d", len(xs))
+		}
+		return nil
+	})
+	if f == nil {
+		t.Fatal("property should be falsifiable")
+	}
+	if len(final) != 5 {
+		t.Fatalf("shrunk slice has len %d, want 5", len(final))
+	}
+	for i, x := range final {
+		if x != 1 {
+			t.Fatalf("shrunk element %d = %v, want the range minimum 1", i, x)
+		}
+	}
+}
+
+// TestReplayDeterministic checks the token contract: the same token drives
+// the same draws, twice over, and Run's name binding keys on t.Name().
+func TestReplayDeterministic(t *testing.T) {
+	prop := func(sinkVals *[]float64, sinkPerm *[]int) func(*G) error {
+		return func(g *G) error {
+			xs := g.FloatsWithCorners(1, 8)
+			p := g.Perm(4)
+			*sinkVals = append([]float64(nil), xs...)
+			*sinkPerm = append([]int(nil), p...)
+			if len(xs) >= 1 {
+				return errors.New("always fails once something is drawn")
+			}
+			return nil
+		}
+	}
+	var v1 []float64
+	var p1 []int
+	f := Check(t.Name(), 7, 50, prop(&v1, &p1))
+	if f == nil {
+		t.Fatal("property should fail")
+	}
+	var v2 []float64
+	var p2 []int
+	if err := Replay(f.Token, prop(&v2, &p2)); err == nil {
+		t.Fatal("replay of a failing tape must fail again")
+	}
+	var v3 []float64
+	var p3 []int
+	if err := Replay(f.Token, prop(&v3, &p3)); err == nil {
+		t.Fatal("second replay must fail again")
+	}
+	if !floatsIdentical(v2, v3) || !intsEqual(p2, p3) {
+		t.Fatalf("same token produced different draws: %v/%v vs %v/%v", v2, p2, v3, p3)
+	}
+	// The shrunk failure re-runs on its own tape too: the recorded values of
+	// the final shrink iteration equal what the token replays.
+	if !floatsIdentical(v1, v2) || !intsEqual(p1, p2) {
+		t.Fatalf("token draws %v/%v differ from shrunk counterexample %v/%v", v2, p2, v1, p1)
+	}
+}
+
+// TestTokenRoundTrip checks encode/decode inverse-ness and corruption
+// handling.
+func TestTokenRoundTrip(t *testing.T) {
+	tape := []uint64{0, 1, 137, math.MaxUint64, 1 << 33}
+	tok := encodeToken("Some/Test", tape)
+	h, got, err := decodeToken(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != hashName("Some/Test") {
+		t.Fatalf("name hash mismatch")
+	}
+	if len(got) != len(tape) {
+		t.Fatalf("tape round-trip %v != %v", got, tape)
+	}
+	for i := range tape {
+		if got[i] != tape[i] {
+			t.Fatalf("tape[%d] = %d, want %d", i, got[i], tape[i])
+		}
+	}
+	for _, bad := range []string{"", "pt1", "pt2.00000000.", "pt1.zz.AAAA", "pt1.00000000.!!!"} {
+		if _, _, err := decodeToken(bad); err == nil {
+			t.Fatalf("decodeToken(%q) should fail", bad)
+		}
+	}
+}
+
+// TestPanicIsCounterexample checks that a panicking property shrinks like a
+// failing one.
+func TestPanicIsCounterexample(t *testing.T) {
+	f := Check(t.Name(), 3, 200, func(g *G) error {
+		xs := g.IntsIn(0, 10, 0, 5)
+		if len(xs) >= 3 {
+			panic("boom")
+		}
+		return nil
+	})
+	if f == nil {
+		t.Fatal("panicking property should be falsified")
+	}
+	if !strings.Contains(f.Err.Error(), "panic: boom") {
+		t.Fatalf("panic not converted to error: %v", f.Err)
+	}
+	// len >= 3 needs the length draw plus three element draws at most.
+	if len(f.Tape) > 4 {
+		t.Fatalf("tape not minimized: %v", f.Tape)
+	}
+}
+
+// TestTapeExhaustionYieldsZeros checks the replay zero-fill contract that
+// chunk deletion relies on.
+func TestTapeExhaustionYieldsZeros(t *testing.T) {
+	g := newReplayG([]uint64{42})
+	if got := g.Intn(100); got != 42 {
+		t.Fatalf("first draw = %d, want 42", got)
+	}
+	if got := g.Intn(100); got != 0 {
+		t.Fatalf("exhausted draw = %d, want 0", got)
+	}
+	if got := g.Float64(); got != 0 {
+		t.Fatalf("exhausted float = %v, want 0", got)
+	}
+	if g.Bool(0.5) {
+		t.Fatal("exhausted bool should be false")
+	}
+}
+
+// TestGeneratorsSanity exercises ranges and shapes of every primitive using
+// the framework itself: Run with passing properties doubles as the
+// "suite runs green" smoke.
+func TestGeneratorsSanity(t *testing.T) {
+	Run(t, 11, 300, func(g *G) error {
+		n := g.IntRange(1, 9)
+		if v := g.Intn(n); v < 0 || v >= n {
+			return fmt.Errorf("Intn(%d) = %d out of range", n, v)
+		}
+		if v := g.IntRange(-5, 5); v < -5 || v > 5 {
+			return fmt.Errorf("IntRange = %d out of range", v)
+		}
+		if v := g.Float64Range(2, 3); v < 2 || v >= 3 {
+			return fmt.Errorf("Float64Range = %v out of range", v)
+		}
+		xs := g.FloatsIn(2, 6, -1, 1)
+		if len(xs) < 2 || len(xs) > 6 {
+			return fmt.Errorf("FloatsIn len = %d", len(xs))
+		}
+		for _, x := range xs {
+			if x < -1 || x >= 1 || math.IsNaN(x) {
+				return fmt.Errorf("FloatsIn value %v out of range", x)
+			}
+		}
+		p := g.Perm(7)
+		sorted := append([]int(nil), p...)
+		sort.Ints(sorted)
+		for i, v := range sorted {
+			if v != i {
+				return fmt.Errorf("Perm not a permutation: %v", p)
+			}
+		}
+		if idx := g.Weighted([]float64{0, 1, 0}); idx != 1 {
+			return fmt.Errorf("Weighted ignored zero weights: %d", idx)
+		}
+		perm := g.Permuted(xs)
+		a := append([]float64(nil), xs...)
+		b := append([]float64(nil), perm...)
+		sort.Float64s(a)
+		sort.Float64s(b)
+		if !floatsIdentical(a, b) {
+			return fmt.Errorf("Permuted changed the multiset: %v vs %v", xs, perm)
+		}
+		dup := g.WithDuplicate(xs)
+		if len(dup) != len(xs)+1 {
+			return fmt.Errorf("WithDuplicate len = %d", len(dup))
+		}
+		return nil
+	})
+}
+
+// TestFloat64CornersHitsSpecials checks the corner injector actually
+// produces NaN and infinities within a modest sample.
+func TestFloat64CornersHitsSpecials(t *testing.T) {
+	g := newGenG(rng.New(99))
+	var sawNaN, sawInf bool
+	for i := 0; i < 2000; i++ {
+		v := g.Float64Corners()
+		if math.IsNaN(v) {
+			sawNaN = true
+		}
+		if math.IsInf(v, 0) {
+			sawInf = true
+		}
+	}
+	if !sawNaN || !sawInf {
+		t.Fatalf("corners missing specials: NaN=%v Inf=%v", sawNaN, sawInf)
+	}
+}
+
+// TestTopologySpecsWellFormed checks the spec generators' structural
+// contracts that the bgpsim and graph suites rely on.
+func TestTopologySpecsWellFormed(t *testing.T) {
+	Run(t, 13, 300, func(g *G) error {
+		as := g.ASHierarchy(6, 10)
+		if as.NTier1 < 1 || as.NTier1 > 3 {
+			return fmt.Errorf("NTier1 = %d", as.NTier1)
+		}
+		if as.NMid() < 1 {
+			return fmt.Errorf("no mids")
+		}
+		for _, provs := range as.MidProviders {
+			if len(provs) < 1 || len(provs) > 2 {
+				return fmt.Errorf("mid provider count %d", len(provs))
+			}
+			for _, p := range provs {
+				if p < 0 || p >= as.NTier1 {
+					return fmt.Errorf("mid provider %d out of tier-1 range", p)
+				}
+			}
+		}
+		for _, pr := range as.MidPeers {
+			if pr[0] >= pr[1] || pr[1] >= as.NMid() {
+				return fmt.Errorf("bad mid peer %v", pr)
+			}
+		}
+		for _, provs := range as.StubProviders {
+			for _, p := range provs {
+				if p < 0 || p >= as.NMid() {
+					return fmt.Errorf("stub provider %d out of mid range", p)
+				}
+			}
+		}
+		spec := g.ConnectedGraph(12, 0.2)
+		deg := make([]int, spec.N)
+		for k, e := range spec.Edges {
+			if e[0] < 0 || e[1] >= spec.N || e[0] >= e[1] {
+				return fmt.Errorf("bad edge %v", e)
+			}
+			if spec.Weights[k] <= 0 {
+				return fmt.Errorf("non-positive weight %v", spec.Weights[k])
+			}
+			deg[e[0]]++
+			deg[e[1]]++
+		}
+		if spec.N >= 2 && len(spec.Edges) < spec.N-1 {
+			return fmt.Errorf("connected graph with %d nodes has only %d edges", spec.N, len(spec.Edges))
+		}
+		return nil
+	})
+}
+
+// TestApproxEq covers the NaN/Inf/tolerance semantics the suites use.
+func TestApproxEq(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{nan, nan, 0, true},
+		{nan, 1, 1e9, false},
+		{inf, inf, 0, true},
+		{inf, -inf, 1e9, false},
+		{inf, 1, 1e9, false},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1e12, 1e12 * (1 + 1e-12), 1e-9, true},
+		{1, 2, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEq(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEq(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+	if !SameFloat(nan, nan) || SameFloat(nan, 1) || !SameFloat(2, 2) {
+		t.Error("SameFloat semantics broken")
+	}
+}
+
+// floatsIdentical is bitwise-insensitive exact equality (NaN == NaN).
+func floatsIdentical(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !SameFloat(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

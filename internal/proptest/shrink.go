@@ -1,0 +1,105 @@
+package proptest
+
+// Deterministic greedy tape shrinking. A candidate edit is accepted exactly
+// when the property still fails on the edited tape; the passes below repeat
+// until a full sweep accepts nothing or the run budget is exhausted. No
+// randomness is involved, so shrinking the same failure always lands on the
+// same counterexample (and therefore the same replay token).
+
+// maxShrinkRuns bounds property executions spent shrinking one failure.
+const maxShrinkRuns = 4096
+
+// shrinker carries the current best (still failing) tape through the passes.
+type shrinker struct {
+	prop func(*G) error
+	tape []uint64
+	err  error
+	runs int
+	steps int
+}
+
+// fails reports whether the property still fails on cand, charging one run.
+func (s *shrinker) fails(cand []uint64) (error, bool) {
+	s.runs++
+	err := runProp(s.prop, newReplayG(cand))
+	return err, err != nil
+}
+
+// accept installs cand as the new best counterexample.
+func (s *shrinker) accept(cand []uint64, err error) {
+	s.tape = cand
+	s.err = err
+	s.steps++
+}
+
+// shrinkTape minimizes a failing tape and returns the shrunk tape, the
+// property's error on it, and the number of accepted edits.
+func shrinkTape(prop func(*G) error, tape []uint64, firstErr error) ([]uint64, error, int) {
+	s := &shrinker{prop: prop, tape: append([]uint64(nil), tape...), err: firstErr}
+	for improved := true; improved && s.runs < maxShrinkRuns; {
+		improved = s.deleteChunks() || s.minimizeEntries()
+	}
+	return s.tape, s.err, s.steps
+}
+
+// deleteChunks tries to remove blocks of draws, largest first. Deleting a
+// block shifts later draws earlier, which typically shortens generated
+// slices or drops whole sub-structures at once.
+func (s *shrinker) deleteChunks() bool {
+	improved := false
+	for size := len(s.tape) / 2; size >= 1; size /= 2 {
+		for start := 0; start+size <= len(s.tape) && s.runs < maxShrinkRuns; {
+			cand := make([]uint64, 0, len(s.tape)-size)
+			cand = append(cand, s.tape[:start]...)
+			cand = append(cand, s.tape[start+size:]...)
+			if err, ok := s.fails(cand); ok {
+				s.accept(cand, err)
+				improved = true
+				// Same start now points at the next block; retry there.
+			} else {
+				start += size
+			}
+		}
+	}
+	return improved
+}
+
+// minimizeEntries drives each tape entry toward zero: first the jump to 0,
+// then a binary descent between 0 and the current value. The descent
+// assumes smaller raw draws mean simpler values (every G primitive is built
+// that way); where the property is not monotone in an entry the loop still
+// terminates and keeps the smallest failing value it saw.
+func (s *shrinker) minimizeEntries() bool {
+	improved := false
+	for i := 0; i < len(s.tape) && s.runs < maxShrinkRuns; i++ {
+		if s.tape[i] == 0 {
+			continue
+		}
+		try := func(v uint64) bool {
+			cand := append([]uint64(nil), s.tape...)
+			cand[i] = v
+			if err, ok := s.fails(cand); ok {
+				s.accept(cand, err)
+				return true
+			}
+			return false
+		}
+		if try(0) {
+			improved = true
+			continue
+		}
+		// Binary descent: lo is the largest value known to pass (or -1 via
+		// lo==0 sentinel handled below), s.tape[i] always fails.
+		lo, hi := uint64(0), s.tape[i]
+		for hi-lo > 1 && s.runs < maxShrinkRuns {
+			mid := lo + (hi-lo)/2
+			if try(mid) {
+				hi = mid
+				improved = true
+			} else {
+				lo = mid
+			}
+		}
+	}
+	return improved
+}

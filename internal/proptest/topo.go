@@ -1,0 +1,120 @@
+package proptest
+
+// Topology generators. They emit plain-data specs (ints only) rather than
+// built objects so that proptest depends on nothing but internal/rng: the
+// bgpsim and graph invariant suites — including bgpsim's internal tests,
+// which compare against the unexported reference engine — construct their
+// own structures from the spec. Keeping the spec on the choice tape also
+// means the shrinker minimizes whole topologies: fewer tiers, fewer edges,
+// lower indices.
+
+// ASHierarchySpec describes a random three-tier, valley-free-by-
+// construction AS topology: a tier-1 peering clique, mid-tier ASes buying
+// transit from tier-1s (with optional lateral peering), and stub ASes
+// buying transit from mids. Indices are positions within each tier; the
+// consuming suite assigns ASNs. Every stub is expected to originate one
+// prefix.
+type ASHierarchySpec struct {
+	NTier1        int      // clique size, >= 1
+	MidProviders  [][]int  // per mid: 1-2 distinct tier-1 indices
+	MidPeers      [][2]int // lateral mid peerings, i < j
+	StubProviders [][]int  // per stub: 1-2 distinct mid indices
+}
+
+// NMid returns the mid-tier size.
+func (s ASHierarchySpec) NMid() int { return len(s.MidProviders) }
+
+// NStub returns the stub-tier size.
+func (s ASHierarchySpec) NStub() int { return len(s.StubProviders) }
+
+// ASHierarchy draws a hierarchy with 1-3 tier-1s, 1..maxMid mids, and
+// 0..maxStub stubs. Multihoming and lateral peering appear with moderate
+// probability so both single- and multi-path scenarios are covered.
+func (g *G) ASHierarchy(maxMid, maxStub int) ASHierarchySpec {
+	spec := ASHierarchySpec{NTier1: g.IntRange(1, 3)}
+	nMid := g.IntRange(1, maxMid)
+	for i := 0; i < nMid; i++ {
+		provs := []int{g.Intn(spec.NTier1)}
+		if g.Bool(0.4) {
+			if p := g.Intn(spec.NTier1); p != provs[0] {
+				provs = append(provs, p)
+			}
+		}
+		spec.MidProviders = append(spec.MidProviders, provs)
+	}
+	for i := 0; i < nMid; i++ {
+		for j := i + 1; j < nMid; j++ {
+			if g.Bool(0.25) {
+				spec.MidPeers = append(spec.MidPeers, [2]int{i, j})
+			}
+		}
+	}
+	nStub := g.IntRange(0, maxStub)
+	for i := 0; i < nStub; i++ {
+		provs := []int{g.Intn(nMid)}
+		if g.Bool(0.3) {
+			if p := g.Intn(nMid); p != provs[0] {
+				provs = append(provs, p)
+			}
+		}
+		spec.StubProviders = append(spec.StubProviders, provs)
+	}
+	return spec
+}
+
+// GraphSpec describes an undirected weighted graph (a mesh): N nodes and a
+// duplicate-free edge list with positive weights. Edges[k] connects
+// Edges[k][0] < Edges[k][1].
+type GraphSpec struct {
+	N       int
+	Edges   [][2]int
+	Weights []float64
+}
+
+// Graph draws an Erdős–Rényi-style graph with 1..maxN nodes and the given
+// edge probability. Weights are finite positive floats in [0.1, 10).
+func (g *G) Graph(maxN int, edgeProb float64) GraphSpec {
+	spec := GraphSpec{N: g.IntRange(1, maxN)}
+	for i := 0; i < spec.N; i++ {
+		for j := i + 1; j < spec.N; j++ {
+			if g.Bool(edgeProb) {
+				spec.Edges = append(spec.Edges, [2]int{i, j})
+				spec.Weights = append(spec.Weights, g.Float64Range(0.1, 10))
+			}
+		}
+	}
+	return spec
+}
+
+// ConnectedGraph draws a connected mesh: a random spanning tree over
+// 2..maxN nodes plus extra edges with the given probability. Every node is
+// reachable from every other, which centrality and scheduling invariants
+// usually require.
+func (g *G) ConnectedGraph(maxN int, extraProb float64) GraphSpec {
+	n := g.IntRange(2, maxN)
+	spec := GraphSpec{N: n}
+	hasEdge := make([]bool, n*n)
+	add := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		if a == b || hasEdge[a*n+b] {
+			return
+		}
+		hasEdge[a*n+b] = true
+		spec.Edges = append(spec.Edges, [2]int{a, b})
+		spec.Weights = append(spec.Weights, g.Float64Range(0.1, 10))
+	}
+	// Random attachment order gives a uniform-ish random tree shape.
+	for i := 1; i < n; i++ {
+		add(i, g.Intn(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if g.Bool(extraProb) {
+				add(i, j)
+			}
+		}
+	}
+	return spec
+}

@@ -1,0 +1,146 @@
+package qualcode_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/proptest"
+	"repro/internal/qualcode"
+	"repro/internal/rng"
+)
+
+// Property suite for the qualitative-coding layer: inter-rater statistics
+// stay in their theoretical ranges and are symmetric in the coders, and the
+// consensus "negotiated agreement" coder never invents a code nobody voted
+// for.
+
+// synthProject draws a small coded corpus: 2-3 simulated coders with random
+// accuracies annotate a generated transcript set.
+func synthProject(g *proptest.G) (*qualcode.Project, qualcode.Truth, []string, error) {
+	cfg := qualcode.SynthConfig{
+		Docs:       g.IntRange(1, 3),
+		SegsPerDoc: g.IntRange(2, 8),
+		Speakers:   g.IntRange(1, 4),
+	}
+	r := rng.New(g.Uint64())
+	p, truth, err := qualcode.GenerateCorpus(cfg, r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nCoders := g.IntRange(2, 3)
+	names := make([]string, nCoders)
+	for i := range names {
+		names[i] = fmt.Sprintf("coder-%d", i+1)
+		sc := qualcode.SimulatedCoder{Name: names[i], Accuracy: g.Float64Range(0.2, 1)}
+		if err := sc.CodeProject(p, truth, cfg, r); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return p, truth, names, nil
+}
+
+func TestPropReliabilityBoundsAndSymmetry(t *testing.T) {
+	proptest.Run(t, 401, 60, func(g *proptest.G) error {
+		p, _, names, err := synthProject(g)
+		if err != nil {
+			return err
+		}
+		const tol = 1e-9
+		for _, code := range p.Codebook.IDs() {
+			k12 := p.CohenKappa(names[0], names[1], code)
+			k21 := p.CohenKappa(names[1], names[0], code)
+			if !proptest.SameFloat(k12, k21) {
+				return fmt.Errorf("CohenKappa(%s) asymmetric: %v vs %v", code, k12, k21)
+			}
+			if !math.IsNaN(k12) && (k12 < -1-tol || k12 > 1+tol) {
+				return fmt.Errorf("CohenKappa(%s) = %v out of [-1,1]", code, k12)
+			}
+			if fk := p.FleissKappa(code); !math.IsNaN(fk) && fk > 1+tol {
+				return fmt.Errorf("FleissKappa(%s) = %v > 1", code, fk)
+			}
+		}
+		pa := p.PercentAgreement(names[0], names[1])
+		if !proptest.SameFloat(pa, p.PercentAgreement(names[1], names[0])) {
+			return fmt.Errorf("PercentAgreement asymmetric")
+		}
+		if !math.IsNaN(pa) && (pa < -tol || pa > 1+tol) {
+			return fmt.Errorf("PercentAgreement = %v out of [0,1]", pa)
+		}
+		if alpha := p.KrippendorffAlpha(); !math.IsNaN(alpha) && alpha > 1+tol {
+			return fmt.Errorf("KrippendorffAlpha = %v > 1", alpha)
+		}
+		if mk := p.MeanPairwiseKappa(); !math.IsNaN(mk) && (mk < -1-tol || mk > 1+tol) {
+			return fmt.Errorf("MeanPairwiseKappa = %v out of [-1,1]", mk)
+		}
+		return nil
+	})
+}
+
+func TestPropPerfectAgreementScoresOne(t *testing.T) {
+	proptest.Run(t, 402, 40, func(g *proptest.G) error {
+		cfg := qualcode.SynthConfig{
+			Docs:       g.IntRange(1, 3),
+			SegsPerDoc: g.IntRange(2, 8),
+			Speakers:   2,
+		}
+		r := rng.New(g.Uint64())
+		p, truth, err := qualcode.GenerateCorpus(cfg, r)
+		if err != nil {
+			return err
+		}
+		// Two perfectly accurate coders agree everywhere by construction.
+		for _, name := range []string{"exact-a", "exact-b"} {
+			sc := qualcode.SimulatedCoder{Name: name, Accuracy: 1}
+			if err := sc.CodeProject(p, truth, cfg, r); err != nil {
+				return err
+			}
+		}
+		if pa := p.PercentAgreement("exact-a", "exact-b"); !proptest.ApproxEq(pa, 1, 1e-12) {
+			return fmt.Errorf("perfect coders disagree: PercentAgreement = %v", pa)
+		}
+		if alpha := p.KrippendorffAlpha(); !proptest.ApproxEq(alpha, 1, 1e-12) {
+			return fmt.Errorf("perfect coders: KrippendorffAlpha = %v, want 1", alpha)
+		}
+		return nil
+	})
+}
+
+func TestPropConsensusSubsetOfVotes(t *testing.T) {
+	proptest.Run(t, 403, 50, func(g *proptest.G) error {
+		p, _, names, err := synthProject(g)
+		if err != nil {
+			return err
+		}
+		minVotes := g.IntRange(1, len(names))
+		const consensus = "consensus"
+		if err := p.BuildConsensus(consensus, minVotes); err != nil {
+			return err
+		}
+		for _, docID := range p.DocumentIDs() {
+			doc, _ := p.Document(docID)
+			for _, seg := range doc.Segments {
+				voted := make(map[string]int)
+				for _, c := range names {
+					for _, code := range p.CodesFor(docID, seg.ID, c) {
+						voted[code]++
+					}
+				}
+				for _, code := range p.CodesFor(docID, seg.ID, consensus) {
+					n, ok := voted[code]
+					if !ok {
+						return fmt.Errorf("consensus adopted %q on %s/%d with zero votes", code, docID, seg.ID)
+					}
+					// A code below the vote threshold may only appear via
+					// the deterministic empty-segment fallback, which adopts
+					// exactly one code.
+					if n < minVotes && len(p.CodesFor(docID, seg.ID, consensus)) != 1 {
+						return fmt.Errorf("consensus adopted %q on %s/%d with %d < %d votes alongside others",
+							code, docID, seg.ID, n, minVotes)
+					}
+				}
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,117 @@
+package stats_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// Fuzz targets for the statistics kernels most exposed to hostile float
+// input: Quantile (NaN propagation, bounds) and Histogram (bin conservation,
+// no panics on extreme ranges). Seeds cover the IEEE corner values the
+// property suite's Float64Corners generator injects, which is where past
+// NaN-handling bugs lived.
+
+// floatsFromBytes decodes the fuzz payload as little-endian float64s.
+func floatsFromBytes(data []byte) []float64 {
+	xs := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		xs = append(xs, math.Float64frombits(binary.LittleEndian.Uint64(data)))
+		data = data[8:]
+	}
+	return xs
+}
+
+func bytesFromFloats(xs ...float64) []byte {
+	out := make([]byte, 0, 8*len(xs))
+	for _, x := range xs {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(x))
+	}
+	return out
+}
+
+func FuzzQuantile(f *testing.F) {
+	f.Add(bytesFromFloats(1, 2, 3), 0.5)
+	f.Add(bytesFromFloats(math.NaN(), 1), 0.25)
+	f.Add(bytesFromFloats(math.Inf(1), math.Inf(-1), 0), 0.75)
+	f.Add(bytesFromFloats(math.Copysign(0, -1), math.MaxFloat64, -math.MaxFloat64), 1.0)
+	f.Add(bytesFromFloats(math.SmallestNonzeroFloat64), 0.0)
+	f.Add([]byte{}, 0.5)
+	f.Fuzz(func(t *testing.T, data []byte, q float64) {
+		if len(data) > 1<<14 {
+			return
+		}
+		xs := floatsFromBytes(data)
+		v := stats.Quantile(xs, q)
+		anyNaN := false
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				anyNaN = true
+			}
+		}
+		switch {
+		case len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) || anyNaN:
+			if !math.IsNaN(v) {
+				t.Fatalf("Quantile(%v, %v) = %v, want NaN for invalid/NaN input", xs, q, v)
+			}
+		default:
+			lo, hi := stats.Min(xs), stats.Max(xs)
+			// ±Inf inputs make the interpolation arithmetic produce NaN
+			// (Inf - Inf); anything else must land inside [Min, Max] up to
+			// rounding.
+			if math.IsNaN(v) {
+				if !math.IsInf(lo, 0) && !math.IsInf(hi, 0) {
+					t.Fatalf("Quantile(%v, %v) = NaN for finite input", xs, q)
+				}
+				return
+			}
+			pad := math.Abs(lo)/1e9 + math.Abs(hi)/1e9 + 1e-9
+			if v < lo-pad || v > hi+pad {
+				t.Fatalf("Quantile(%v, %v) = %v outside [%v, %v]", xs, q, v, lo, hi)
+			}
+		}
+	})
+}
+
+func FuzzHistogram(f *testing.F) {
+	f.Add(bytesFromFloats(1, 2, 3), 4)
+	f.Add(bytesFromFloats(math.NaN(), math.NaN()), 3)
+	f.Add(bytesFromFloats(math.Inf(1), math.Inf(-1)), 2)
+	f.Add(bytesFromFloats(0, math.Copysign(0, -1)), 1)
+	f.Add(bytesFromFloats(math.MaxFloat64, -math.MaxFloat64, 0), 5)
+	f.Add([]byte{}, 3)
+	f.Fuzz(func(t *testing.T, data []byte, nbins int) {
+		if len(data) > 1<<14 || nbins > 1<<16 {
+			return // bound allocation, not coverage
+		}
+		xs := floatsFromBytes(data)
+		counts := stats.Histogram(xs, nbins)
+		kept := 0
+		for _, x := range xs {
+			if !math.IsNaN(x) {
+				kept++
+			}
+		}
+		if len(xs) == 0 || nbins <= 0 || kept == 0 {
+			if counts != nil {
+				t.Fatalf("Histogram(%v, %d) = %v, want nil", xs, nbins, counts)
+			}
+			return
+		}
+		if len(counts) != nbins {
+			t.Fatalf("Histogram(%v, %d) has %d bins", xs, nbins, len(counts))
+		}
+		total := 0
+		for _, c := range counts {
+			if c < 0 {
+				t.Fatalf("negative bin count in %v", counts)
+			}
+			total += c
+		}
+		if total != kept {
+			t.Fatalf("Histogram(%v, %d) places %d values, kept %d", xs, nbins, total, kept)
+		}
+	})
+}

@@ -125,7 +125,17 @@ func quantileSorted(s []float64, q float64) float64 {
 		return s[lo]
 	}
 	frac := pos - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac
+	v := s[lo]*(1-frac) + s[hi]*frac
+	// The interpolation can round one ulp outside [s[lo], s[hi]] (e.g. both
+	// products of a negative value round upward), which would let a low
+	// quantile exceed a high one on near-constant samples. Clamp into the
+	// bracketing order statistics so quantiles stay monotone across segments.
+	if v < s[lo] {
+		v = s[lo]
+	} else if v > s[hi] {
+		v = s[hi]
+	}
+	return v
 }
 
 // Median returns the 0.5-quantile of xs.
@@ -412,7 +422,15 @@ func BootstrapCIWorkers(xs []float64, fn func([]float64) float64, nresamples int
 	}
 	sort.Float64s(est)
 	alpha := (1 - level) / 2
-	return quantileSorted(est, alpha), quantileSorted(est, 1-alpha)
+	lo = quantileSorted(est, alpha)
+	hi = quantileSorted(est, 1-alpha)
+	// When alpha and 1-alpha fall in the same inter-order-statistic segment
+	// (tiny samples, level near 0), interpolation rounding can still invert
+	// the endpoints by an ulp; the interval contract is lo <= hi.
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo, hi
 }
 
 // Summary captures the standard five-number-plus summary of a sample.
