@@ -2,11 +2,11 @@ GO ?= go
 
 .PHONY: all check build vet lint test test-race prop fuzz-smoke bench bench-json report examples clean
 
-all: build vet lint test test-race
+all: build vet lint test test-race report
 
 # Fast pre-commit gate: compile, vet, determinism lint, unit tests (no race
-# detector).
-check: build vet lint test
+# detector), and the cold-vs-cached report identity check.
+check: build vet lint test report
 
 build:
 	$(GO) build ./...
@@ -68,9 +68,19 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_bgpsim.json <$$tmp; \
 	rm -f $$tmp
 
-# One-command Markdown report of all measured tables.
+# One-command Markdown report of all measured tables, generated twice through
+# the experiment registry's result cache — once cold, once warm — and compared
+# byte-for-byte. A diff means a scenario broke the determinism contract or the
+# cache round-trip lost precision; either is a bug. The warm run's -cache-stats
+# line (all hits, zero misses) is the proof it re-rendered without re-executing.
 report:
-	$(GO) run ./cmd/reportgen -out REPORT.md
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/reportgen -cache-dir $$tmp/cache -cache-stats -out $$tmp/cold.md || { rm -rf $$tmp; exit 1; }; \
+	$(GO) run ./cmd/reportgen -cache-dir $$tmp/cache -cache-stats -out $$tmp/warm.md || { rm -rf $$tmp; exit 1; }; \
+	cmp $$tmp/cold.md $$tmp/warm.md || { echo "report: warm-cache output differs from cold run" >&2; rm -rf $$tmp; exit 1; }; \
+	cp $$tmp/cold.md REPORT.md; \
+	rm -rf $$tmp; \
+	echo "wrote REPORT.md (cold and cached runs byte-identical)"
 
 examples:
 	@for ex in examples/*/; do \

@@ -1,152 +1,135 @@
-// Command biblioscan generates and analyzes a synthetic publication corpus:
-// the "who is in the room" concentration report (E5), coauthorship-graph
-// statistics, and one-off abstract classification.
+// Command biblioscan analyzes publication corpora. Its experiment surface
+// is the scenario registry: the "who is in the room" concentration report
+// (E5), CFP dynamics (E15), and the coauthorship-graph structure study
+// (biblio-graph) are resolved by -scenario with schema-bound flags.
+//
+// Two I/O utilities sit outside the registry because they consume external
+// input: -classify labels one abstract, and -in analyzes a real corpus JSON
+// (optionally re-exporting it with -export).
 //
 // Usage:
 //
-//	biblioscan [-papers 5000] [-authors 2500] [-seed 1]
-//	biblioscan -in corpus.json             # analyze a real corpus
+//	biblioscan [-scenario E5] [-papers 2000] [-authors 1200] [-seed 1]
+//	biblioscan -scenario biblio-graph [-papers 5000] [-authors 2500] [-workers 4]
+//	biblioscan -list
+//	biblioscan -in corpus.json [-export copy.json]   # analyze a real corpus
 //	biblioscan -classify "we conducted interviews with operators ..."
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
-	"sort"
 
 	"repro/internal/biblio"
-	"repro/internal/rng"
-	"repro/internal/stats"
+	"repro/internal/experiment/cli"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("biblioscan: ")
-
-	papers := flag.Int("papers", 5000, "corpus size")
-	authors := flag.Int("authors", 2500, "author population")
-	seed := flag.Uint64("seed", 1, "generation seed")
-	classify := flag.String("classify", "", "classify one abstract and exit")
-	in := flag.String("in", "", "analyze this corpus JSON instead of generating one")
-	export := flag.String("export", "", "write the analyzed corpus as JSON here")
-	workers := flag.Int("workers", 0, "worker goroutines for centrality (0 = GOMAXPROCS); output is identical for any value")
-	flag.Parse()
-
-	if *classify != "" {
-		fmt.Printf("method: %s\n", biblio.ClassifyAbstract(*classify))
+	if utilityMode(os.Args[1:]) {
+		if err := runUtility(os.Args[1:], os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
+	os.Exit(cli.Main(cli.Config{
+		Tool:            "biblioscan",
+		DefaultScenario: "E5",
+		Intro:           "biblioscan scenarios (run with -scenario ID):\n\n",
+	}, os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	var c *biblio.Corpus
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			log.Fatal(err)
-		}
-		c, err = biblio.ReadCorpus(f)
-		_ = f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("loaded corpus: %d papers, %d authors\n", c.NumPapers(), c.NumAuthors())
-		fmt.Println("\nMethod mix per venue")
-		for _, v := range append([]string{""}, c.Venues()...) {
-			name := v
-			if name == "" {
-				name = "ALL"
+// utilityMode reports whether the arguments ask for the non-registry I/O
+// paths (-classify / -in), which take external input and so cannot be
+// scenarios.
+func utilityMode(args []string) bool {
+	for _, a := range args {
+		for _, name := range []string{"classify", "in"} {
+			if a == "-"+name || a == "--"+name {
+				return true
 			}
-			mix := c.MethodMix(v)
-			fmt.Printf("  %-12s qual+mixed %.3f  measurement %.3f  systems %.3f  theory %.3f\n",
-				name, mix[biblio.Qualitative]+mix[biblio.Mixed],
-				mix[biblio.Measurement], mix[biblio.SystemsBuilding], mix[biblio.Theory])
-		}
-		slope, r2 := biblio.TrendSlope(c.QualitativeShareByYear())
-		fmt.Printf("\nqualitative-share trend: %+.4f/year (r2 %.2f)\n", slope, r2)
-	} else {
-		cfg := biblio.DefaultGenConfig()
-		cfg.Papers = *papers
-		cfg.Authors = *authors
-		cfg.Seed = *seed
-
-		rows, err := biblio.RunE5(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println("E5 — Who is in the room: concentration & method mix")
-		fmt.Println("venue      papers  qual-share  classified-qual  affil-gini  top10-share  south-share")
-		for _, r := range rows {
-			fmt.Printf("%-9s %7d  %10.3f  %15.3f  %10.3f  %11.3f  %11.3f\n",
-				r.Venue, r.Papers, r.QualitativeShare, r.ClassifiedQual,
-				r.AffiliationGini, r.Top10AffilShare, r.SouthAuthorShare)
-		}
-		c, err = biblio.Generate(cfg)
-		if err != nil {
-			log.Fatal(err)
+			for _, prefix := range []string{"-" + name + "=", "--" + name + "="} {
+				if len(a) >= len(prefix) && a[:len(prefix)] == prefix {
+					return true
+				}
+			}
 		}
 	}
+	return false
+}
+
+// runUtility implements the corpus I/O paths behind a single error-returning
+// exit: classify one abstract, or load, summarize, and optionally re-export
+// a real corpus.
+func runUtility(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("biblioscan", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	classify := fs.String("classify", "", "classify one abstract and exit")
+	in := fs.String("in", "", "analyze this corpus JSON")
+	export := fs.String("export", "", "write the analyzed corpus as JSON here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *classify != "" {
+		_, err := fmt.Fprintf(stdout, "method: %s\n", biblio.ClassifyAbstract(*classify))
+		return err
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	c, err := biblio.ReadCorpus(f)
+	cerr := f.Close()
+	if err != nil {
+		return err
+	}
+	if cerr != nil {
+		return cerr
+	}
+	if _, err := fmt.Fprintf(stdout, "loaded corpus: %d papers, %d authors\n", c.NumPapers(), c.NumAuthors()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(stdout, "\nMethod mix per venue"); err != nil {
+		return err
+	}
+	for _, v := range append([]string{""}, c.Venues()...) {
+		name := v
+		if name == "" {
+			name = "ALL"
+		}
+		mix := c.MethodMix(v)
+		if _, err := fmt.Fprintf(stdout, "  %-12s qual+mixed %.3f  measurement %.3f  systems %.3f  theory %.3f\n",
+			name, mix[biblio.Qualitative]+mix[biblio.Mixed],
+			mix[biblio.Measurement], mix[biblio.SystemsBuilding], mix[biblio.Theory]); err != nil {
+			return err
+		}
+	}
+	slope, r2 := biblio.TrendSlope(c.QualitativeShareByYear())
+	if _, err := fmt.Fprintf(stdout, "\nqualitative-share trend: %+.4f/year (r2 %.2f)\n", slope, r2); err != nil {
+		return err
+	}
+
 	if *export != "" {
-		f, err := os.Create(*export)
+		out, err := os.Create(*export)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		if err := c.WriteJSON(f); err != nil {
-			log.Fatal(err)
+		if err := c.WriteJSON(out); err != nil {
+			_ = out.Close()
+			return err
 		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
+		if err := out.Close(); err != nil {
+			return err
 		}
-		fmt.Printf("\nwrote corpus to %s\n", *export)
-	}
-
-	g, authorIDs := c.CoauthorGraph()
-	degs := make([]float64, g.N())
-	for u := 0; u < g.N(); u++ {
-		degs[u] = float64(g.Degree(u))
-	}
-	label, communities := g.LabelPropagation(rng.New(*seed), 50)
-	_ = label
-	fmt.Println("\nCoauthorship graph")
-	fmt.Printf("  authors: %d, edges: %d\n", g.N(), g.M())
-	fmt.Printf("  degree: mean %.1f, median %.0f, p95 %.0f, max %.0f, gini %.3f\n",
-		stats.Mean(degs), stats.Median(degs), stats.Quantile(degs, 0.95), stats.Max(degs), stats.Gini(degs))
-	fmt.Printf("  giant component: %d (%.1f%%)\n",
-		g.GiantComponentSize(), 100*float64(g.GiantComponentSize())/float64(g.N()))
-	fmt.Printf("  communities (label propagation): %d\n", communities)
-	fmt.Printf("  degree assortativity: %.3f\n", g.DegreeAssortativity())
-	core := g.KCore()
-	inCore := 0
-	for _, c := range core {
-		if c == g.Degeneracy() {
-			inCore++
+		if _, err := fmt.Fprintf(stdout, "\nwrote corpus to %s\n", *export); err != nil {
+			return err
 		}
 	}
-	fmt.Printf("  degeneracy: %d (innermost core holds %d authors — who is in the room)\n",
-		g.Degeneracy(), inCore)
-
-	// Betweenness picks out the brokers: authors whose collaborations bridge
-	// otherwise-separate clusters of the room. Parallel over sources but
-	// bit-identical to the serial computation for any worker count.
-	bc := g.BetweennessCentralityWorkers(*workers)
-	cc := g.ClosenessCentralityWorkers(*workers)
-	order := make([]int, g.N())
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		if bc[order[a]] != bc[order[b]] {
-			return bc[order[a]] > bc[order[b]]
-		}
-		return order[a] < order[b]
-	})
-	top := 5
-	if g.N() < top {
-		top = g.N()
-	}
-	fmt.Println("  top brokers (betweenness — who bridges the room):")
-	for _, u := range order[:top] {
-		fmt.Printf("    author %-6d betweenness %10.1f  closeness %.3f  degree %d\n",
-			authorIDs[u], bc[u], cc[u], g.Degree(u))
-	}
+	return nil
 }

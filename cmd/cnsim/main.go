@@ -1,103 +1,33 @@
 // Command cnsim runs the community-network simulations behind the paper's
-// §4 case study: congestion management as a common-pool resource (E3) and
-// the volunteer-maintenance sustainability model.
+// §4 case study: congestion management as a common-pool resource (E3), the
+// volunteer-maintenance sustainability sweep (cn-maintenance), and the
+// topology-aware scheduler comparison (cn-topology).
+//
+// The binary is a thin dispatcher over the scenario registry: -scenario
+// picks a study, the scenario's parameter schema is bound to flags, and the
+// rendered Result is printed. Run `cnsim -list` for every scenario with its
+// parameters and defaults.
 //
 // Usage:
 //
-//	cnsim -mode congestion [-members 30] [-heavy 0.2] [-capacity 0.6] [-epochs 300] [-seed 42]
-//	cnsim -mode maintenance [-nodes 50] [-failprob 0.05] [-epochs 400] [-max-volunteers 6]
+//	cnsim [-scenario E3] [-members 30] [-heavy-frac 0.2] [-capacity-factor 0.6] [-epochs 300] [-seed 42]
+//	cnsim -scenario cn-maintenance [-nodes 50] [-failprob 0.05] [-epochs 400] [-max-volunteers 6]
+//	cnsim -scenario cn-topology [-members 30] [-radius 0.35]
 package main
 
 import (
-	"context"
-	"flag"
-	"fmt"
-	"log"
 	"os"
 
-	"repro/internal/cn"
-	"repro/internal/parallel"
+	"repro/internal/experiment/cli"
+
+	// The linked domain package defines this binary's scenario surface.
+	_ "repro/internal/cn"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cnsim: ")
-
-	mode := flag.String("mode", "congestion", "what to simulate: congestion | maintenance | topology")
-	members := flag.Int("members", 30, "congestion: community members")
-	heavy := flag.Float64("heavy", 0.2, "congestion: fraction of heavy users")
-	capacity := flag.Float64("capacity", 0.6, "congestion: capacity / mean offered load")
-	epochs := flag.Int("epochs", 300, "epochs to simulate")
-	seed := flag.Uint64("seed", 42, "simulation seed")
-	nodes := flag.Int("nodes", 50, "maintenance: mesh nodes")
-	failProb := flag.Float64("failprob", 0.05, "maintenance: per-node failure probability per epoch")
-	maxVolunteers := flag.Int("max-volunteers", 6, "maintenance: sweep volunteers 1..N")
-	travelLimit := flag.Int("travel-limit", 0, "maintenance: epochs before an unrepaired member churns (0 = never)")
-	workers := flag.Int("workers", 0, "worker goroutines for the maintenance sweep (0 = GOMAXPROCS); output is identical for any value")
-	flag.Parse()
-
-	switch *mode {
-	case "congestion":
-		cfg := cn.SimConfig{
-			Members: *members, HeavyFrac: *heavy, CapacityFactor: *capacity,
-			Epochs: *epochs, Seed: *seed,
-		}
-		rows, err := cn.CompareSchedulers(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println("E3 — Community congestion management (CPR credits vs baselines)")
-		fmt.Println("scheduler      light-protected  light-sat  burst-sat  heavy-sat  utilization  congested-epochs")
-		for _, r := range rows {
-			fmt.Printf("%-13s %15.3f  %9.3f  %9.3f  %9.3f  %11.3f  %16d\n",
-				r.Scheduler, r.LightProtected, r.LightSatisfaction, r.BurstSatisfaction,
-				r.HeavySatisfaction, r.Utilization, r.CongestedEpochs)
-		}
-	case "maintenance":
-		fmt.Println("Volunteer maintenance sweep")
-		fmt.Println("volunteers  availability  mean-repair-delay  abandoned")
-		// Each volunteer count is an independent simulation seeded from the
-		// config alone, so the sweep fans out and rows land at their index.
-		results, err := parallel.Map(context.Background(), *maxVolunteers, *workers,
-			func(i int) (cn.MaintenanceResult, error) {
-				return cn.SimulateMaintenance(cn.MaintenanceConfig{
-					Nodes: *nodes, FailProb: *failProb, Volunteers: i + 1,
-					TravelLimit: *travelLimit, Epochs: *epochs, Seed: *seed,
-				}), nil
-			})
-		if err != nil {
-			log.Fatal(err)
-		}
-		for i, res := range results {
-			fmt.Printf("%10d  %12.3f  %17.2f  %9d\n",
-				i+1, res.Availability, res.MeanRepairDelay, res.Abandoned)
-		}
-	case "topology":
-		cfg := cn.SimConfig{
-			Members: *members, HeavyFrac: *heavy, CapacityFactor: *capacity,
-			Epochs: *epochs, Seed: *seed,
-		}
-		fmt.Println("Topology-aware scheduler comparison (near/far satisfaction)")
-		fmt.Println("scheduler      near-sat  far-sat  gap")
-		for _, s := range []cn.Scheduler{cn.Proportional{}, cn.MaxMin{}, &cn.CPR{}} {
-			res, err := cn.SimulateTopologyAware(cfg, s)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("%-13s %9.3f  %7.3f  %.2fx\n", res.Scheduler, res.NearSat, res.FarSat, res.Gap)
-		}
-		rows, err := cn.TopoGapExperiment(*members, 0.35, 1, *seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println("\nmax-min rate by hop quartile")
-		fmt.Println("placement  quartile  mean-hops  mean-rate")
-		for _, r := range rows {
-			fmt.Printf("%-9s  %8d  %9.2f  %9.4f\n", r.Placement, r.Quartile, r.MeanHops, r.MeanRate)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-		flag.Usage()
-		os.Exit(2)
-	}
+	os.Exit(cli.Main(cli.Config{
+		Tool:            "cnsim",
+		DefaultScenario: "E3",
+		Intro:           "cnsim scenarios (run with -scenario ID):\n\n",
+	}, os.Args[1:], os.Stdout, os.Stderr))
 }

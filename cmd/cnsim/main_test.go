@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clitest"
+)
+
+// TestSmoke runs each scenario this binary links (plus -list and a param
+// override) twice via `go run .`, requiring deterministic output.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping `go run` smoke test in -short mode")
+	}
+	out := string(clitest.RunCLI(t))
+	if !strings.Contains(out, "E3 — ") {
+		t.Fatalf("default run did not render E3:\n%s", out)
+	}
+	clitest.RunCLI(t, "-scenario", "cn-maintenance", "-max-volunteers", "3")
+	clitest.RunCLI(t, "-scenario", "cn-topology", "-json")
+	list := string(clitest.RunCLI(t, "-list"))
+	for _, id := range []string{"E3 — ", "cn-maintenance — ", "cn-topology — "} {
+		if !strings.Contains(list, id) {
+			t.Fatalf("-list missing %q:\n%s", id, list)
+		}
+	}
+}

@@ -1,108 +1,37 @@
 // Command ixpsim runs the interconnection experiments from the paper's §3
-// and §6 case studies: mandatory-peering circumvention (E1), giant-IXP
-// gravity (E2), route-leak blast radius (E14), and exact-prefix hijack
-// capture (E16).
+// and §6 case studies: mandatory-peering circumvention (E1, with the E1b
+// regulator counter-move), giant-IXP gravity (E2, with the E2b
+// remote-peering economics), route-leak blast radius (E14), and
+// exact-prefix hijack capture (E16).
+//
+// The binary is a thin dispatcher over the scenario registry: -scenario
+// picks an experiment, the scenario's parameter schema is bound to flags,
+// and the rendered Result is printed. Run `ixpsim -list` for every scenario
+// with its parameters and defaults.
 //
 // Usage:
 //
-//	ixpsim -experiment circumvention [-competitors 6] [-incumbent-share 0.6] [-max-shells 6]
-//	ixpsim -experiment gravity [-isps 60] [-local-ixps 6] [-seed 42]
-//	ixpsim -experiment leak [-mids 8] [-stubs 20] [-seed 5] [-workers 4]
-//	ixpsim -experiment hijack [-mids 8] [-stubs 20] [-seed 5] [-workers 4]
+//	ixpsim [-scenario E1] [-competitors 6] [-incumbent-share 0.6] [-max-shells 6]
+//	ixpsim -scenario E2 [-isps 60] [-local-ixps 6] [-seed 42] [-workers 4]
+//	ixpsim -scenario E14 [-mids 8] [-stubs 20] [-seed 5] [-workers 4]
+//	ixpsim -scenario E16 [-mids 8] [-stubs 20] [-seed 5] [-workers 4]
+//	ixpsim -scenario E1 -json
 package main
 
 import (
-	"flag"
-	"fmt"
-	"log"
 	"os"
 
-	"repro/internal/bgpsim"
-	"repro/internal/ixp"
+	"repro/internal/experiment/cli"
+
+	// The linked domain packages define this binary's scenario surface.
+	_ "repro/internal/bgpsim"
+	_ "repro/internal/ixp"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ixpsim: ")
-
-	experiment := flag.String("experiment", "circumvention", "which experiment to run: circumvention | gravity | economics | leak | hijack")
-	competitors := flag.Int("competitors", 6, "circumvention: number of competitor ISPs")
-	incumbentShare := flag.Float64("incumbent-share", 0.6, "circumvention: incumbent's user share")
-	maxShells := flag.Int("max-shells", 6, "circumvention: max shell ASNs to sweep")
-	isps := flag.Int("isps", 60, "gravity: number of Global-South ISPs")
-	localIXPs := flag.Int("local-ixps", 6, "gravity: number of local exchanges")
-	seed := flag.Uint64("seed", 42, "gravity/leak/hijack: topology seed")
-	mids := flag.Int("mids", 8, "leak/hijack: mid-tier AS count in the generated hierarchy")
-	stubs := flag.Int("stubs", 20, "leak/hijack: stub AS count in the generated hierarchy")
-	workers := flag.Int("workers", 0, "worker goroutines for sweeps (0 = GOMAXPROCS); output is identical for any value")
-	flag.Parse()
-
-	switch *experiment {
-	case "circumvention":
-		rows, err := ixp.CircumventionSweepWorkers(*competitors, *incumbentShare, *maxShells, *workers)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println("E1 — Mandatory peering vs ASN circumvention (Telmex case)")
-		fmt.Println("scenario                 shells  sessions  locality  incumbent-locality")
-		for _, r := range rows {
-			fmt.Printf("%-24s %6d  %8d  %8.3f  %18.3f\n",
-				r.Mode, r.Shells, r.IXPSessions, r.DomesticShare, r.IncumbentLocal)
-		}
-	case "gravity":
-		presences := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
-		rows, err := ixp.GravitySweepWorkers(*isps, *localIXPs, presences, *seed, *workers)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println("E2 — Giant-IXP gravity vs local content presence (DE-CIX case)")
-		fmt.Println("content-presence  giant-share  local-share  transit-share  remote-peered")
-		for _, r := range rows {
-			fmt.Printf("%16.2f  %11.3f  %11.3f  %13.3f  %13d\n",
-				r.ContentPresence, r.GiantIXPShare, r.LocalIXPShare, r.TransitShare, r.RemotePeered)
-		}
-	case "economics":
-		base := ixp.EconConfig{
-			SouthISPs: *isps, LocalIXPs: *localIXPs, ContentPresence: 0.5,
-			ContentVolume: 10, TransitPricePerUnit: 2, Seed: *seed,
-		}
-		costs := []float64{5, 10, 15, 19, 21, 30, 50, 80}
-		rows, err := ixp.EconomicSweepWorkers(base, costs, *workers)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println("E2b — Remote-peering economics (adoption crossover at port cost = volume x transit price = 20)")
-		fmt.Println("port-cost  remote-peered  giant-share  local-share  transit-share  mean-cost")
-		for _, r := range rows {
-			fmt.Printf("%9.0f  %13d  %11.3f  %11.3f  %13.3f  %9.2f\n",
-				r.RemotePortCost, r.RemotePeered, r.GiantIXPShare, r.LocalIXPShare,
-				r.TransitShare, r.MeanCost)
-		}
-	case "leak":
-		rows, err := bgpsim.RunLeakSweepWorkers(*mids, *stubs, *seed, *workers)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println("E14 — Route-leak blast radius (Mahajan et al. misconfiguration case)")
-		fmt.Println("leaker   asn  providers  affected  affected-share")
-		for _, r := range rows {
-			fmt.Printf("%-6s  %4d  %9d  %8d  %14.3f\n",
-				r.LeakerKind, r.LeakerASN, r.Providers, r.Affected, r.AffectedShare)
-		}
-	case "hijack":
-		rows, err := bgpsim.RunHijackSweepWorkers(*mids, *stubs, *seed, *workers)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println("E16 — Exact-prefix (MOAS) hijack capture")
-		fmt.Println("attacker   asn  captured  captured-share")
-		for _, r := range rows {
-			fmt.Printf("%-8s  %4d  %8d  %14.3f\n",
-				r.AttackerKind, r.AttackerASN, r.Captured, r.CapturedShare)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
-		flag.Usage()
-		os.Exit(2)
-	}
+	os.Exit(cli.Main(cli.Config{
+		Tool:            "ixpsim",
+		DefaultScenario: "E1",
+		Intro:           "ixpsim scenarios (run with -scenario ID):\n\n",
+	}, os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clitest"
+)
+
+// TestSmoke runs each scenario this binary links (plus -list and -json)
+// twice via `go run .`, requiring deterministic output.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping `go run` smoke test in -short mode")
+	}
+	out := string(clitest.RunCLI(t))
+	if !strings.Contains(out, "E1 — ") {
+		t.Fatalf("default run did not render E1:\n%s", out)
+	}
+	clitest.RunCLI(t, "-scenario", "E2", "-workers", "2")
+	clitest.RunCLI(t, "-scenario", "E14", "-workers", "2")
+	clitest.RunCLI(t, "-scenario", "E16", "-json")
+	list := string(clitest.RunCLI(t, "-list"))
+	for _, id := range []string{"E1 — ", "E2 — ", "E14 — ", "E16 — "} {
+		if !strings.Contains(list, id) {
+			t.Fatalf("-list missing %q:\n%s", id, list)
+		}
+	}
+}

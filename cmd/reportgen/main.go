@@ -1,306 +1,136 @@
-// Command reportgen runs every experiment (E1–E16) and renders one Markdown
-// report with all measured tables — the automated regeneration of the
-// measured sections in EXPERIMENTS.md.
+// Command reportgen renders the full experiment report (E1–E16) from the
+// scenario registry — the automated regeneration of the measured sections in
+// EXPERIMENTS.md. Every experiment is resolved through internal/experiment;
+// this binary is registry iteration plus rendering and holds no
+// per-experiment code.
 //
 // Usage:
 //
-//	reportgen [-out report.md] [-workers 4]
+//	reportgen [-out report.md] [-workers 4] [-only E3,E7] [-json] [-list]
+//	          [-cache-dir DIR] [-cache-stats]
 //
-// -workers bounds the goroutines used by the sweep-style experiments
-// (E1/E2/E14/E16); every table is bit-identical for any value.
+// -workers bounds the goroutines used per sweep-style scenario and across
+// scenarios; every table is bit-identical for any value. With -cache-dir,
+// results are stored content-addressed on disk and a warm re-run renders the
+// byte-identical report without re-executing unchanged scenarios
+// (-cache-stats reports hits/misses on stderr).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
 
-	"repro/internal/bgpsim"
-	"repro/internal/biblio"
-	"repro/internal/cn"
-	"repro/internal/diary"
-	"repro/internal/ethno"
-	"repro/internal/focusgroup"
-	"repro/internal/ixp"
-	"repro/internal/par"
-	"repro/internal/positionality"
-	"repro/internal/qualcode"
-	"repro/internal/standards"
-	"repro/internal/survey"
+	"repro/internal/experiment"
+	_ "repro/internal/experiment/all"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("reportgen: ")
-	out := flag.String("out", "", "write the report here (default stdout)")
-	workers := flag.Int("workers", 0, "worker goroutines for sweep experiments (0 = GOMAXPROCS); output is identical for any value")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	var b strings.Builder
-	b.WriteString("# humnet experiment report\n\n")
-	b.WriteString("Generated by cmd/reportgen; every table is deterministic for the recorded seeds.\n")
+// run is the whole program behind a single error-propagating exit path;
+// main's log.Fatal is the only place that terminates.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("reportgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "write the report here (default stdout)")
+	workers := fs.Int("workers", 0, "worker goroutines for sweep scenarios and the batch runner (0 = GOMAXPROCS); output is identical for any value")
+	only := fs.String("only", "", "comma-separated scenario IDs to run (default: every report scenario)")
+	jsonOut := fs.Bool("json", false, "render JSON instead of Markdown")
+	list := fs.Bool("list", false, "list every registered scenario with its params and exit")
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory (empty = no cache)")
+	cacheStats := fs.Bool("cache-stats", false, "report cache hits/misses on stderr after the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	writeE1(&b, *workers)
-	writeE2(&b, *workers)
-	writeE3(&b)
-	writeE4(&b)
-	writeE5(&b)
-	writeE6(&b)
-	writeE7(&b)
-	writeE8(&b)
-	writeE9(&b)
-	writeE10(&b)
-	writeE11(&b)
-	writeE12(&b)
-	writeE13(&b)
-	writeE14(&b, *workers)
-	writeE15(&b)
-	writeE16(&b, *workers)
+	if *list {
+		_, err := io.WriteString(stdout, experiment.RenderList(experiment.All()))
+		return err
+	}
 
+	scenarios, err := selectScenarios(*only)
+	if err != nil {
+		return err
+	}
+	runner := &experiment.Runner{Workers: *workers, ScenarioWorkers: *workers}
+	if *cacheDir != "" {
+		cache, err := experiment.OpenCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		runner.Cache = cache
+	}
+	jobs := make([]experiment.Job, len(scenarios))
+	for i, s := range scenarios {
+		jobs[i] = experiment.NewJob(s)
+	}
+	results, err := runner.Run(context.Background(), jobs)
+	if err != nil {
+		return err
+	}
+
+	var rendered []byte
+	if *jsonOut {
+		rendered, err = experiment.RenderJSON(results)
+		if err != nil {
+			return err
+		}
+	} else {
+		rendered = []byte(experiment.RenderMarkdown(results))
+	}
+	if *cacheStats {
+		st := runner.Stats()
+		if _, err := fmt.Fprintf(stderr, "cache: %d hits, %d misses\n", st.Hits, st.Misses); err != nil {
+			return err
+		}
+	}
 	if *out != "" {
-		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
-			log.Fatal(err)
+		if err := os.WriteFile(*out, rendered, 0o644); err != nil {
+			return err
 		}
-		fmt.Printf("wrote %s\n", *out)
-		return
+		_, err := fmt.Fprintf(stdout, "wrote %s\n", *out)
+		return err
 	}
-	fmt.Print(b.String())
+	_, err = stdout.Write(rendered)
+	return err
 }
 
-func section(b *strings.Builder, title string, header []string) {
-	fmt.Fprintf(b, "\n## %s\n\n", title)
-	fmt.Fprintf(b, "| %s |\n", strings.Join(header, " | "))
-	sep := make([]string, len(header))
-	for i := range sep {
-		sep[i] = "---"
+// selectScenarios resolves the -only filter against the registry: empty
+// means every report scenario; IDs (including auxiliary ones) come back in
+// registry order.
+func selectScenarios(only string) ([]experiment.Scenario, error) {
+	if only == "" {
+		return experiment.Report(), nil
 	}
-	fmt.Fprintf(b, "| %s |\n", strings.Join(sep, " | "))
-}
-
-func row(b *strings.Builder, cells ...string) {
-	fmt.Fprintf(b, "| %s |\n", strings.Join(cells, " | "))
-}
-
-func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
-func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
-func d(v int) string      { return fmt.Sprintf("%d", v) }
-
-func writeE1(b *strings.Builder, workers int) {
-	rows, err := ixp.CircumventionSweepWorkers(6, 0.6, 6, workers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E1 — Mandatory peering vs ASN circumvention", []string{"scenario", "shells", "sessions", "locality", "incumbent-locality"})
-	for _, r := range rows {
-		row(b, r.Mode.String(), d(r.Shells), d(r.IXPSessions), f3(r.DomesticShare), f3(r.IncumbentLocal))
-	}
-	pol, err := ixp.PolicySweep(6, 0.6, []float64{0, 0.25, 0.5, 0.75, 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E1b — Regulator counter-move: migrate users to the member AS", []string{"migrated-share", "locality", "incumbent-locality"})
-	for i, r := range pol {
-		row(b, f3([]float64{0, 0.25, 0.5, 0.75, 1}[i]), f3(r.DomesticShare), f3(r.IncumbentLocal))
-	}
-}
-
-func writeE2(b *strings.Builder, workers int) {
-	rows, err := ixp.GravitySweepWorkers(60, 6, []float64{0, 0.2, 0.4, 0.6, 0.8, 1}, 42, workers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E2 — Giant-IXP gravity", []string{"content-presence", "giant-share", "local-share", "transit-share", "remote-peered"})
-	for _, r := range rows {
-		row(b, f3(r.ContentPresence), f3(r.GiantIXPShare), f3(r.LocalIXPShare), f3(r.TransitShare), d(r.RemotePeered))
-	}
-	econ, err := ixp.EconomicSweepWorkers(ixp.EconConfig{
-		SouthISPs: 40, LocalIXPs: 4, ContentPresence: 0.5,
-		ContentVolume: 10, TransitPricePerUnit: 2, Seed: 9,
-	}, []float64{5, 15, 19, 21, 30, 80}, workers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E2b — Remote-peering economics (crossover at port cost 20)", []string{"port-cost", "remote-peered", "giant-share", "transit-share", "mean-cost"})
-	for _, r := range econ {
-		row(b, f1(r.RemotePortCost), d(r.RemotePeered), f3(r.GiantIXPShare), f3(r.TransitShare), f3(r.MeanCost))
-	}
-}
-
-func writeE3(b *strings.Builder) {
-	rows, err := cn.CompareSchedulers(cn.SimConfig{
-		Members: 30, HeavyFrac: 0.2, CapacityFactor: 0.6, Epochs: 300, Seed: 42,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E3 — Community congestion management", []string{"scheduler", "light-protected", "light-sat", "burst-sat", "heavy-sat", "utilization"})
-	for _, r := range rows {
-		row(b, r.Scheduler, f3(r.LightProtected), f3(r.LightSatisfaction), f3(r.BurstSatisfaction), f3(r.HeavySatisfaction), f3(r.Utilization))
-	}
-}
-
-func writeE4(b *strings.Builder) {
-	rows, err := par.RunDiscovery(par.DefaultDiscoveryConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E4 — Problem discovery", []string{"pipeline", "marginal-share", "marginal-pop", "mean-impact"})
-	for _, r := range rows {
-		row(b, r.Pipeline, f3(r.MarginalShare), f3(r.MarginalPopShare), f3(r.MeanAgendaImpact))
-	}
-}
-
-func writeE5(b *strings.Builder) {
-	cfg := biblio.DefaultGenConfig()
-	cfg.Papers = 2000
-	cfg.Authors = 1200
-	rows, err := biblio.RunE5(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E5 — Who is in the room", []string{"venue", "papers", "qual-share", "classified-qual", "affil-gini", "top10-share", "south-share"})
-	for _, r := range rows {
-		row(b, r.Venue, d(r.Papers), f3(r.QualitativeShare), f3(r.ClassifiedQual), f3(r.AffiliationGini), f3(r.Top10AffilShare), f3(r.SouthAuthorShare))
-	}
-}
-
-func writeE6(b *strings.Builder) {
-	rows, err := qualcode.ReliabilityCurve(6, 3, 0.55, 0.45, 7)
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E6 — Inter-rater reliability vs codebook refinement", []string{"iteration", "accuracy", "mean-kappa", "fleiss", "kripp-alpha", "agreement"})
-	for _, r := range rows {
-		row(b, d(r.Iteration), f3(r.CoderAccuracy), f3(r.MeanKappa), f3(r.FleissKappa), f3(r.KrippAlpha), f3(r.Agreement))
-	}
-}
-
-func writeE7(b *strings.Builder) {
-	rows, err := ethno.RunE7(ethno.DefaultE7Config())
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E7 — Fieldwork scheduling", []string{"strategy", "visits", "insight", "sites", "reflections", "travel-overhead"})
-	for _, r := range rows {
-		row(b, string(r.Strategy), d(r.Visits), f1(r.Insight), d(r.SitesCovered), d(r.Reflections), f3(r.TravelOverhead))
-	}
-}
-
-func writeE8(b *strings.Builder) {
-	rows, err := survey.RunE8(survey.DefaultE8Config())
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E8 — Survey reach", []string{"design", "respondents", "marginal-share", "marginal-pop", "bias"})
-	for _, r := range rows {
-		row(b, string(r.Design), d(r.Respondents), f3(r.MarginalShare), f3(r.MarginalPop), fmt.Sprintf("%+.3f", r.Bias))
-	}
-}
-
-func writeE9(b *strings.Builder) {
-	rows, err := positionality.RunLens(positionality.DefaultLensConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E9 — Agenda divergence vs lens strength", []string{"strength", "divergence", "contested-prop", "contested-skep"})
-	for _, r := range rows {
-		row(b, f3(r.Strength), f3(r.Divergence), f3(r.ContestedShareProponent), f3(r.ContestedShareSkeptic))
-	}
-}
-
-func writeE10(b *strings.Builder) {
-	rows, err := par.RunIteration(par.DefaultIterateConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E10 — Iterative co-design", []string{"iteration", "iterative-fit", "one-shot-fit"})
-	for _, r := range rows {
-		row(b, d(r.Iteration), f3(r.IterativeFit), f3(r.OneShotFit))
-	}
-}
-
-func writeE11(b *strings.Builder) {
-	rows, err := standards.Sweep([]float64{0, 0.15, 0.3, 0.45, 0.6}, standards.DefaultConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E11 — Practitioner engagement in standards", []string{"process", "rfcs", "rounds-to-rfc", "final-fit", "deploy-per-rfc"})
-	for _, r := range rows {
-		name := fmt.Sprintf("open %.0f%%", 100*r.PractitionerShare)
-		if r.Closed {
-			name = "closed consortium"
+	want := make(map[string]bool)
+	for _, id := range strings.Split(only, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
 		}
-		row(b, name, d(r.RFCs), f1(r.MeanRoundsToRFC), f3(r.MeanFinalFit), f3(r.MeanDeployPerRFC))
+		if _, ok := experiment.Get(id); !ok {
+			return nil, fmt.Errorf("unknown scenario %q in -only (try -list)", id)
+		}
+		want[id] = true
 	}
-}
-
-func writeE12(b *strings.Builder) {
-	cfg := diary.DefaultConfig()
-	cfg.Days = 42
-	ds, err := diary.Simulate(cfg)
-	if err != nil {
-		log.Fatal(err)
+	if len(want) == 0 {
+		return nil, fmt.Errorf("-only selected no scenarios")
 	}
-	daily := diary.Reconcile(cfg, ds)
-	cfg2 := cfg
-	cfg2.Prompting = diary.SignalContingent
-	ds2, err := diary.Simulate(cfg2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sc := diary.Reconcile(cfg2, ds2)
-	section(b, "E12 — Diaries + technology probes", []string{"prompting", "diary-cov", "probe-cov", "combined", "human-only-via-diary"})
-	row(b, "daily", f3(daily.DiaryOnly), f3(daily.ProbeOnly), f3(daily.Combined), f3(daily.NonInstrumentableDiary))
-	row(b, "signal-contingent", f3(sc.DiaryOnly), f3(sc.ProbeOnly), f3(sc.Combined), f3(sc.NonInstrumentableDiary))
-}
-
-func writeE13(b *strings.Builder) {
-	rows, err := focusgroup.Compare(focusgroup.DefaultParticipants(), 150, 7)
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E13 — Focus-group facilitation", []string{"strategy", "speaking-jain", "insight-cov", "quiet-cov", "interventions"})
-	for _, r := range rows {
-		row(b, r.Strategy.String(), f3(r.SpeakingJain), f3(r.InsightCoverage), f3(r.QuietCoverage), d(r.Interventions))
-	}
-}
-
-func writeE14(b *strings.Builder, workers int) {
-	rows, err := bgpsim.RunLeakSweepWorkers(8, 20, 5, workers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E14 — Route-leak blast radius", []string{"leaker", "asn", "providers", "affected", "affected-share"})
-	for _, r := range rows {
-		row(b, r.LeakerKind, fmt.Sprintf("%d", r.LeakerASN), d(r.Providers), d(r.Affected), f3(r.AffectedShare))
-	}
-}
-
-func writeE15(b *strings.Builder) {
-	cfg := biblio.DefaultCFPConfig()
-	cfg.Years = 40
-	cfg.InterventionYear = 20
-	rows, err := biblio.RunCFP(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E15 — CFP dynamics (intervention at year 20)", []string{"year", "weight", "submitted-qual", "accepted-qual"})
-	for _, r := range rows {
-		if r.Year%4 == 0 || r.Year == 20 || r.Year == 21 {
-			row(b, d(r.Year), f3(r.QualWeightInEffect), f3(r.SubmittedQualShare), f3(r.AcceptedQualShare))
+	var out []experiment.Scenario
+	for _, s := range experiment.All() {
+		if want[s.ID()] {
+			out = append(out, s)
 		}
 	}
-}
-
-func writeE16(b *strings.Builder, workers int) {
-	rows, err := bgpsim.RunHijackSweepWorkers(8, 20, 5, workers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	section(b, "E16 — Exact-prefix hijack capture", []string{"attacker", "asn", "captured", "captured-share"})
-	for _, r := range rows {
-		row(b, r.AttackerKind, fmt.Sprintf("%d", r.AttackerASN), d(r.Captured), f3(r.CapturedShare))
-	}
+	return out, nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/clitest"
@@ -14,4 +16,76 @@ func TestSmoke(t *testing.T) {
 		t.Skip("skipping `go run` smoke test in -short mode")
 	}
 	clitest.RunCLI(t, "-workers", "2")
+}
+
+// TestCachedRunByteIdentical is the warm-cache acceptance check in-process: a
+// cold run through -cache-dir and a warm re-run must render the same bytes,
+// and -cache-stats must show the warm run executed no scenarios.
+func TestCachedRunByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func() (string, string) {
+		var out, errOut bytes.Buffer
+		if err := run([]string{"-cache-dir", dir, "-cache-stats", "-workers", "2"}, &out, &errOut); err != nil {
+			t.Fatalf("run: %v\nstderr: %s", err, errOut.String())
+		}
+		return out.String(), errOut.String()
+	}
+	cold, coldStats := runOnce()
+	warm, warmStats := runOnce()
+	if cold != warm {
+		t.Fatal("warm-cache report differs from cold run")
+	}
+	if !strings.Contains(coldStats, "cache: 0 hits, 16 misses") {
+		t.Fatalf("cold stats = %q, want 16 misses", coldStats)
+	}
+	if !strings.Contains(warmStats, "cache: 16 hits, 0 misses") {
+		t.Fatalf("warm stats = %q, want 16 pure hits", warmStats)
+	}
+}
+
+// TestOnlyFilterAndJSON exercises the -only and -json surfaces: the filter
+// must restrict output to the named scenarios in registry order, and the
+// JSON rendering must carry the same IDs.
+func TestOnlyFilterAndJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-only", "E7,E3", "-workers", "2"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	md := out.String()
+	if !strings.Contains(md, "## E3 — ") || !strings.Contains(md, "## E7 — ") {
+		t.Fatalf("-only E7,E3 output missing a requested section:\n%s", md)
+	}
+	if strings.Contains(md, "## E1 — ") || strings.Contains(md, "## E4 — ") {
+		t.Fatal("-only output contains unrequested scenarios")
+	}
+	if strings.Index(md, "## E3") > strings.Index(md, "## E7") {
+		t.Fatal("-only output not in registry order")
+	}
+
+	out.Reset()
+	if err := run([]string{"-only", "E3", "-json", "-workers", "2"}, &out, &errOut); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+	js := out.String()
+	if !strings.Contains(js, `"id": "E3"`) || !strings.HasPrefix(js, "[") {
+		t.Fatalf("-json output malformed:\n%.300s", js)
+	}
+
+	if err := run([]string{"-only", "E999"}, &out, &errOut); err == nil {
+		t.Fatal("unknown -only ID accepted")
+	}
+}
+
+// TestListMode checks -list prints every report scenario with its params.
+func TestListMode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errOut); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	ls := out.String()
+	for _, want := range []string{"E1 — ", "E16 — ", "-competitors", "(default seed 42)"} {
+		if !strings.Contains(ls, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, ls)
+		}
+	}
 }

@@ -1,0 +1,47 @@
+package ethno
+
+import (
+	"context"
+
+	"repro/internal/experiment"
+)
+
+// Scenario registration for E7: patchwork vs rapid vs immersive fieldwork
+// scheduling under a fixed researcher-day budget.
+
+func init() {
+	experiment.Register(experiment.Def{
+		ID:    "E7",
+		Title: "Fieldwork scheduling",
+		Claim: "Under a fixed day budget, patchwork scheduling covers more sites with more between-visit reflection at modest travel overhead, trading depth per visit.",
+		Params: experiment.Schema{
+			{Name: "sites", Kind: experiment.Int, Default: 4, Doc: "comparable field sites available"},
+			{Name: "budget-days", Kind: experiment.Float, Default: 60.0, Doc: "researcher-day budget per strategy"},
+			{Name: "patchwork-visits", Kind: experiment.Int, Default: 4, Doc: "visit count of the patchwork plan"},
+			{Name: "rapid-visits", Kind: experiment.Int, Default: 10, Doc: "visit count of the rapid plan"},
+		},
+		Run: runE7,
+	})
+}
+
+// runE7 compares the scheduling strategies. The model is deterministic given
+// its configuration; the seed is unused.
+func runE7(_ context.Context, p experiment.Values, _ uint64) (*experiment.Result, error) {
+	cfg := DefaultE7Config()
+	cfg.Sites = p.Int("sites")
+	cfg.BudgetDays = p.Float("budget-days")
+	cfg.PatchworkVisits = p.Int("patchwork-visits")
+	cfg.RapidVisits = p.Int("rapid-visits")
+	rows, err := RunE7(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &experiment.Result{}
+	t := res.AddTable("E7", "Fieldwork scheduling",
+		"strategy", "visits", "insight", "sites", "reflections", "travel-overhead")
+	for _, r := range rows {
+		t.AddRow(experiment.S(string(r.Strategy)), experiment.I(r.Visits), experiment.FP(r.Insight, 1),
+			experiment.I(r.SitesCovered), experiment.I(r.Reflections), experiment.F3(r.TravelOverhead))
+	}
+	return res, nil
+}

@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strconv"
+	"strings"
+)
+
+// cacheSchemaVersion versions the cached Result encoding itself. Bump it
+// whenever the Result JSON shape or cell formatting semantics change, so
+// stale entries miss instead of decoding into the wrong shape.
+const cacheSchemaVersion = 1
+
+// moduleVersion identifies the code that produced a cached entry. Release
+// builds get the module version; source builds get the VCS revision when the
+// build recorded one, else "(devel)". It is part of every cache key, so a
+// rebuilt binary with different code never serves another build's results
+// unless the build metadata genuinely matches.
+func moduleVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			return bi.Main.Version + "+" + s.Value
+		}
+	}
+	return bi.Main.Version
+}
+
+// CacheKey is the content address of one scenario execution:
+// hash(schema version, module version, scenario ID, seed, canonical params).
+// Equal inputs — and only equal inputs — share a key, so a warm cache is
+// safe to reuse across runs of the same build.
+func CacheKey(scenarioID string, p Values, seed uint64) string {
+	var b strings.Builder
+	b.WriteString("v")
+	b.WriteString(strconv.Itoa(cacheSchemaVersion))
+	b.WriteByte('\n')
+	b.WriteString(moduleVersion())
+	b.WriteByte('\n')
+	b.WriteString(scenarioID)
+	b.WriteByte('\n')
+	b.WriteString(strconv.FormatUint(seed, 10))
+	b.WriteByte('\n')
+	b.WriteString(p.Canonical())
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Cache is a content-addressed on-disk Result store: one JSON file per key.
+// Writes are atomic (temp file + rename), so a crashed run never leaves a
+// half-written entry, and any unreadable or undecodable entry is treated as
+// a miss and overwritten by the next Put.
+type Cache struct {
+	dir string
+}
+
+// OpenCache creates dir if needed and returns a cache rooted there.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("experiment: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiment: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a key to its entry file.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get loads the Result stored under key. Any failure — absent, unreadable,
+// or corrupt entry — is reported as a miss; the cache self-heals on the next
+// Put.
+func (c *Cache) Get(key string) (*Result, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// Put stores res under key atomically.
+func (c *Cache) Put(key string, res *Result) error {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("experiment: encode cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("experiment: cache put: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("experiment: cache put: %w", werr)
+		}
+		return fmt.Errorf("experiment: cache put: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("experiment: cache put: %w", err)
+	}
+	return nil
+}

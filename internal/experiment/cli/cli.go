@@ -1,0 +1,155 @@
+// Package cli is the shared thin dispatcher behind the scenario CLIs
+// (ixpsim, cnsim, biblioscan): resolve a scenario by ID from the registry
+// the binary linked in, bind the scenario's Params schema onto real
+// command-line flags, run it through an experiment.Runner, and print the
+// rendered Result.
+//
+// The binaries keep no per-experiment code at all — their experiment
+// surface is exactly the registry contents, so adding a scenario to a
+// domain package adds it to every CLI that links the package.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+// Config describes one scenario CLI.
+type Config struct {
+	// Tool is the binary name used in flag error output.
+	Tool string
+	// DefaultScenario is run when -scenario is not given.
+	DefaultScenario string
+	// Intro is printed above the scenario list in -list output.
+	Intro string
+}
+
+// Main implements the dispatcher: parse args, resolve the scenario, run,
+// render. It returns the process exit code — 0 on success, 1 on execution
+// failure, 2 on usage errors — and writes only to stdout/stderr, so the
+// binaries stay a one-line main and tests can capture everything.
+func Main(cfg Config, args []string, stdout, stderr io.Writer) int {
+	id := preScanScenario(args, cfg.DefaultScenario)
+	sc, known := experiment.Get(id)
+	if !known {
+		// An unknown scenario still must support -list; resolve against the
+		// default so flag parsing can proceed, then fail after -list had its
+		// chance.
+		var ok bool
+		sc, ok = experiment.Get(cfg.DefaultScenario)
+		if !ok {
+			errf(stderr, "%s: default scenario %q not registered\n", cfg.Tool, cfg.DefaultScenario)
+			return 2
+		}
+	}
+
+	fs := flag.NewFlagSet(cfg.Tool, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenarioFlag := fs.String("scenario", cfg.DefaultScenario, "scenario ID to run (see -list)")
+	list := fs.Bool("list", false, "list every registered scenario with its params and exit")
+	jsonOut := fs.Bool("json", false, "render the result as JSON instead of a text table")
+	workers := fs.Int("workers", 0, "worker goroutines for scenario sweeps (0 = GOMAXPROCS); output is identical for any value")
+	seed := fs.Uint64("seed", sc.DefaultSeed(), "scenario seed")
+	collect := experiment.BindFlags(fs, sc.Params())
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		if _, err := io.WriteString(stdout, cfg.Intro+experiment.RenderList(experiment.All())); err != nil {
+			errf(stderr, "%s: %v\n", cfg.Tool, err)
+			return 1
+		}
+		return 0
+	}
+	if !known || *scenarioFlag != id {
+		// !known: the pre-scanned ID is not registered. Flag mismatch happens
+		// only on malformed input where the pre-scan and flag.Parse disagree.
+		errf(stderr, "%s: unknown scenario %q (known: %s)\n", cfg.Tool, *scenarioFlag, strings.Join(knownIDs(), ", "))
+		return 2
+	}
+
+	runner := &experiment.Runner{Workers: 1, ScenarioWorkers: *workers}
+	res, err := runner.RunOne(context.Background(), experiment.Job{
+		Scenario: sc, Params: collect(), Seed: *seed,
+	})
+	if err != nil {
+		errf(stderr, "%s: %v\n", cfg.Tool, err)
+		return 1
+	}
+	var out string
+	if *jsonOut {
+		data, err := experiment.RenderJSON([]*experiment.Result{res})
+		if err != nil {
+			errf(stderr, "%s: %v\n", cfg.Tool, err)
+			return 1
+		}
+		out = string(data)
+	} else {
+		out = experiment.RenderText(res)
+	}
+	if _, err := io.WriteString(stdout, out); err != nil {
+		errf(stderr, "%s: %v\n", cfg.Tool, err)
+		return 1
+	}
+	return 0
+}
+
+// errf writes a diagnostic to the dispatcher's stderr. stderr is the last
+// resort for reporting failures, so a failed write has no further recourse
+// and the error is deliberately dropped.
+func errf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+// preScanScenario extracts the -scenario value before real flag parsing, so
+// the chosen scenario's schema can be bound as flags first. It accepts the
+// same spellings the flag package does.
+func preScanScenario(args []string, fallback string) string {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a == "--" {
+			break
+		}
+		name, val, eq := splitFlag(a)
+		if name != "scenario" {
+			continue
+		}
+		if eq {
+			return val
+		}
+		if i+1 < len(args) {
+			return args[i+1]
+		}
+	}
+	return fallback
+}
+
+// splitFlag decomposes "-name=value" / "--name" into its parts.
+func splitFlag(a string) (name, value string, hasValue bool) {
+	if len(a) < 2 || a[0] != '-' {
+		return "", "", false
+	}
+	a = a[1:]
+	if len(a) > 0 && a[0] == '-' {
+		a = a[1:]
+	}
+	if i := strings.IndexByte(a, '='); i >= 0 {
+		return a[:i], a[i+1:], true
+	}
+	return a, "", false
+}
+
+// knownIDs lists the registered scenario IDs in registry order.
+func knownIDs() []string {
+	all := experiment.All()
+	ids := make([]string, len(all))
+	for i, s := range all {
+		ids[i] = s.ID()
+	}
+	return ids
+}

@@ -1,0 +1,40 @@
+package experiment
+
+import "flag"
+
+// BindFlags registers one typed flag per schema spec on fs (name, default,
+// and doc all come from the spec) and returns a collector that, called after
+// fs.Parse, assembles the parsed values into a complete Values. This is how
+// the thin CLI dispatchers map command-line flags onto a scenario's Params
+// schema without any per-scenario flag code.
+func BindFlags(fs *flag.FlagSet, sch Schema) func() Values {
+	getters := make([]func() any, len(sch))
+	for i, spec := range sch {
+		switch spec.Kind {
+		case Int:
+			p := fs.Int(spec.Name, spec.Default.(int), spec.Doc)
+			getters[i] = func() any { return *p }
+		case Uint:
+			p := fs.Uint64(spec.Name, spec.Default.(uint64), spec.Doc)
+			getters[i] = func() any { return *p }
+		case Float:
+			p := fs.Float64(spec.Name, spec.Default.(float64), spec.Doc)
+			getters[i] = func() any { return *p }
+		case Bool:
+			p := fs.Bool(spec.Name, spec.Default.(bool), spec.Doc)
+			getters[i] = func() any { return *p }
+		case String:
+			p := fs.String(spec.Name, spec.Default.(string), spec.Doc)
+			getters[i] = func() any { return *p }
+		}
+	}
+	return func() Values {
+		v := make(Values, len(sch))
+		for i, spec := range sch {
+			if getters[i] != nil {
+				v[spec.Name] = getters[i]()
+			}
+		}
+		return v
+	}
+}

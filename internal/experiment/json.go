@@ -1,0 +1,61 @@
+package experiment
+
+import "encoding/json"
+
+// jsonTable mirrors Table with formatted cells: consumers get the exact
+// strings the Markdown and text renderers print, so every renderer agrees on
+// the displayed values byte-for-byte.
+type jsonTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// jsonResult mirrors Result for the -json renderer.
+type jsonResult struct {
+	ID     string            `json:"id"`
+	Title  string            `json:"title"`
+	Claim  string            `json:"claim,omitempty"`
+	Seed   uint64            `json:"seed"`
+	Params map[string]string `json:"params,omitempty"`
+	Tables []jsonTable       `json:"tables"`
+}
+
+// RenderJSON renders results as indented JSON with formatted cell strings.
+// encoding/json sorts map keys, so equal results render to equal bytes.
+func RenderJSON(results []*Result) ([]byte, error) {
+	out := make([]jsonResult, len(results))
+	for i, res := range results {
+		jr := jsonResult{
+			ID:     res.ID,
+			Title:  res.Title,
+			Claim:  res.Claim,
+			Seed:   res.Seed,
+			Params: res.Params,
+			Tables: make([]jsonTable, len(res.Tables)),
+		}
+		for ti, t := range res.Tables {
+			jt := jsonTable{
+				ID:      t.ID,
+				Title:   t.Title,
+				Columns: t.Columns,
+				Rows:    make([][]string, len(t.Rows)),
+			}
+			for ri, row := range t.Rows {
+				cells := make([]string, len(row))
+				for ci, c := range row {
+					cells[ci] = c.Format()
+				}
+				jt.Rows[ri] = cells
+			}
+			jr.Tables[ti] = jt
+		}
+		out[i] = jr
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/proptest"
+)
+
+// TestPropRunnerWorkerInvariance is the package's determinism contract run
+// dynamically: for a randomly drawn batch of jobs (scenario mix, per-job
+// parameter overrides, seeds), the batch runner renders bit-identical output
+// for every worker count, including the scenario-internal worker hint.
+func TestPropRunnerWorkerInvariance(t *testing.T) {
+	scenarios := []Scenario{
+		def{synthDef("P1")},
+		def{synthDef("P2")},
+		def{synthDef("P3")},
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	proptest.Run(t, 0xe19a, 40, func(g *proptest.G) error {
+		n := g.IntRange(1, 8)
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{
+				Scenario: scenarios[g.Intn(len(scenarios))],
+				Seed:     g.Uint64() % 1000,
+				Params: Values{
+					"rows":  g.IntRange(0, 6),
+					"scale": g.Float64Range(0, 10),
+				},
+			}
+		}
+
+		var baseline string
+		for _, w := range workerCounts {
+			r := &Runner{Workers: w, ScenarioWorkers: w}
+			results, err := r.Run(context.Background(), jobs)
+			if err != nil {
+				return fmt.Errorf("workers=%d: %v", w, err)
+			}
+			md := RenderMarkdown(results)
+			js, err := RenderJSON(results)
+			if err != nil {
+				return fmt.Errorf("workers=%d: RenderJSON: %v", w, err)
+			}
+			rendered := md + "\x00" + string(js)
+			if w == workerCounts[0] {
+				baseline = rendered
+				continue
+			}
+			if rendered != baseline {
+				return fmt.Errorf("workers=%d renders differently from workers=%d over %d jobs",
+					w, workerCounts[0], n)
+			}
+		}
+		return nil
+	})
+}
+
+// TestPropCacheRoundTrip checks the cache leg of the same contract: for any
+// drawn job, running cold through a cache and re-running warm yields
+// bit-identical renderings, with the warm run executing nothing.
+func TestPropCacheRoundTrip(t *testing.T) {
+	sc := def{synthDef("P1")}
+	dir := t.TempDir()
+
+	proptest.Run(t, 0xcac4e, 25, func(g *proptest.G) error {
+		cache, err := OpenCache(fmt.Sprintf("%s/c%d", dir, g.Uint64()%1_000_000))
+		if err != nil {
+			return err
+		}
+		job := Job{
+			Scenario: sc,
+			Seed:     g.Uint64() % 1000,
+			Params: Values{
+				"rows":  g.IntRange(0, 6),
+				"scale": g.Float64Range(0, 10),
+			},
+		}
+		cold := &Runner{Cache: cache}
+		coldRes, err := cold.RunOne(context.Background(), job)
+		if err != nil {
+			return err
+		}
+		warm := &Runner{Cache: cache}
+		warmRes, err := warm.RunOne(context.Background(), job)
+		if err != nil {
+			return err
+		}
+		if st := warm.Stats(); st.Hits != 1 || st.Misses != 0 {
+			return fmt.Errorf("warm stats = %+v, want pure hit", st)
+		}
+		coldJSON, err := RenderJSON([]*Result{coldRes})
+		if err != nil {
+			return err
+		}
+		warmJSON, err := RenderJSON([]*Result{warmRes})
+		if err != nil {
+			return err
+		}
+		if string(coldJSON) != string(warmJSON) {
+			return fmt.Errorf("cached rendering differs from cold run (seed %d)", job.Seed)
+		}
+		if RenderMarkdown([]*Result{coldRes}) != RenderMarkdown([]*Result{warmRes}) {
+			return fmt.Errorf("cached Markdown differs from cold run (seed %d)", job.Seed)
+		}
+		return nil
+	})
+}

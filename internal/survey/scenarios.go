@@ -1,0 +1,51 @@
+package survey
+
+import (
+	"context"
+
+	"repro/internal/experiment"
+)
+
+// Scenario registration for E8: survey reach across sampling designs.
+
+func init() {
+	experiment.Register(experiment.Def{
+		ID:    "E8",
+		Title: "Survey reach",
+		Claim: "Random sampling under-reaches hard-to-reach strata; stratified and snowball designs trade bias for marginal-population coverage.",
+		Seed:  1,
+		Params: experiment.Schema{
+			{Name: "ties", Kind: experiment.Int, Default: 6, Doc: "social ties per person (snowball referral graph)"},
+			{Name: "budget", Kind: experiment.Int, Default: 300, Doc: "contact budget shared by every design"},
+			{Name: "waves", Kind: experiment.Int, Default: 4, Doc: "snowball referral waves"},
+			{Name: "seeds", Kind: experiment.Int, Default: 40, Doc: "snowball seed respondents"},
+			{Name: "max-referrals", Kind: experiment.Int, Default: 3, Doc: "referrals per respondent"},
+			{Name: "response-noise", Kind: experiment.Float, Default: 0.05, Doc: "response-propensity noise"},
+		},
+		Run: runE8,
+	})
+}
+
+// runE8 fields the three designs on one synthetic population.
+func runE8(_ context.Context, p experiment.Values, seed uint64) (*experiment.Result, error) {
+	cfg := DefaultE8Config()
+	cfg.TiesPerPerson = p.Int("ties")
+	cfg.Budget = p.Int("budget")
+	cfg.Waves = p.Int("waves")
+	cfg.Seeds = p.Int("seeds")
+	cfg.MaxReferrals = p.Int("max-referrals")
+	cfg.ResponseNoise = p.Float("response-noise")
+	cfg.Seed = seed
+	rows, err := RunE8(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &experiment.Result{}
+	t := res.AddTable("E8", "Survey reach",
+		"design", "respondents", "marginal-share", "marginal-pop", "bias")
+	for _, r := range rows {
+		t.AddRow(experiment.S(string(r.Design)), experiment.I(r.Respondents),
+			experiment.F3(r.MarginalShare), experiment.F3(r.MarginalPop), experiment.FSigned(r.Bias, 3))
+	}
+	return res, nil
+}
