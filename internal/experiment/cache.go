@@ -10,19 +10,27 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 )
 
-// cacheSchemaVersion versions the cached Result encoding itself. Bump it
-// whenever the Result JSON shape or cell formatting semantics change, so
-// stale entries miss instead of decoding into the wrong shape.
-const cacheSchemaVersion = 1
+// cacheSchemaVersion versions the cached Result encoding and the key
+// derivation itself. Bump it whenever the Result JSON shape, the cell
+// formatting semantics, or the canonical param encoding change, so stale
+// entries miss instead of decoding into the wrong shape (or worse, hitting
+// under a colliding key).
+//
+// v2: Values.Canonical() became injective (length-prefixed records) and the
+// key's own fields became length-prefixed; v1 entries miss cleanly.
+const cacheSchemaVersion = 2
 
 // moduleVersion identifies the code that produced a cached entry. Release
 // builds get the module version; source builds get the VCS revision when the
 // build recorded one, else "(devel)". It is part of every cache key, so a
 // rebuilt binary with different code never serves another build's results
-// unless the build metadata genuinely matches.
-func moduleVersion() string {
+// unless the build metadata genuinely matches. debug.ReadBuildInfo walks the
+// whole build-settings table, so the value is computed once — CacheKey is on
+// humnetd's per-request hot path.
+var moduleVersion = sync.OnceValue(func() string {
 	bi, ok := debug.ReadBuildInfo()
 	if !ok {
 		return "unknown"
@@ -33,24 +41,30 @@ func moduleVersion() string {
 		}
 	}
 	return bi.Main.Version
+})
+
+// writeField appends one length-prefixed key ingredient. The prefix makes
+// field boundaries part of the encoding, so an ingredient containing the
+// separator byte can never alias a neighbouring field.
+func writeField(b *strings.Builder, s string) {
+	b.WriteString(strconv.Itoa(len(s)))
+	b.WriteByte(':')
+	b.WriteString(s)
+	b.WriteByte('\n')
 }
 
 // CacheKey is the content address of one scenario execution:
-// hash(schema version, module version, scenario ID, seed, canonical params).
-// Equal inputs — and only equal inputs — share a key, so a warm cache is
-// safe to reuse across runs of the same build.
+// hash(schema version, module version, scenario ID, seed, canonical params),
+// every ingredient length-prefixed. Equal inputs — and only equal inputs —
+// share a key, so a warm cache is safe to reuse across runs of the same
+// build.
 func CacheKey(scenarioID string, p Values, seed uint64) string {
 	var b strings.Builder
-	b.WriteString("v")
-	b.WriteString(strconv.Itoa(cacheSchemaVersion))
-	b.WriteByte('\n')
-	b.WriteString(moduleVersion())
-	b.WriteByte('\n')
-	b.WriteString(scenarioID)
-	b.WriteByte('\n')
-	b.WriteString(strconv.FormatUint(seed, 10))
-	b.WriteByte('\n')
-	b.WriteString(p.Canonical())
+	writeField(&b, "v"+strconv.Itoa(cacheSchemaVersion))
+	writeField(&b, moduleVersion())
+	writeField(&b, scenarioID)
+	writeField(&b, strconv.FormatUint(seed, 10))
+	writeField(&b, p.Canonical())
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }
@@ -82,16 +96,23 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
-// Get loads the Result stored under key. Any failure — absent, unreadable,
-// or corrupt entry — is reported as a miss; the cache self-heals on the next
-// Put.
-func (c *Cache) Get(key string) (*Result, bool) {
+// Get loads the Result stored under key and verifies it actually belongs to
+// scenario wantID. Any failure — absent, unreadable, or corrupt entry, or a
+// well-formed entry whose Result.ID names a different scenario (a renamed or
+// hand-edited file) — is reported as a miss; the cache self-heals on the
+// next Put. Without the ID check, any well-formed JSON at the right path
+// would be served verbatim, so a stray rename could hand one scenario
+// another scenario's tables.
+func (c *Cache) Get(key, wantID string) (*Result, bool) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
 		return nil, false
 	}
 	var res Result
 	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false
+	}
+	if res.ID != wantID {
 		return nil, false
 	}
 	return &res, true

@@ -131,7 +131,7 @@ func TestCacheCorruptEntryIsMiss(t *testing.T) {
 		t.Fatal("re-run after corrupt entry produced no result")
 	}
 	// The Put on the miss path must have replaced the corrupt entry.
-	if _, ok := cache.Get(CacheKey(sc.ID(), mustMerge(t, sc, nil), job.Seed)); !ok {
+	if _, ok := cache.Get(CacheKey(sc.ID(), mustMerge(t, sc, nil), job.Seed), sc.ID()); !ok {
 		t.Fatal("corrupt entry not rewritten after the re-run")
 	}
 }

@@ -135,7 +135,7 @@ func TestSchemaValidateRejectsUnknownAndMistyped(t *testing.T) {
 
 func TestValuesCanonicalIsSorted(t *testing.T) {
 	v := Values{"b": 2, "a": 1.5, "c": "z"}
-	want := "a=1.5\nb=2\nc=z\n"
+	want := "1:a=3:1.5\n1:b=1:2\n1:c=1:z\n"
 	if got := v.Canonical(); got != want {
 		t.Fatalf("Canonical() = %q, want %q", got, want)
 	}

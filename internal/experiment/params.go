@@ -253,8 +253,16 @@ func (v Values) String(name string) string {
 	return x
 }
 
-// Canonical renders the values as a stable one-line-per-param encoding used
-// by the cache key: keys sorted, each value in its canonical text form.
+// Canonical renders the values as a stable, injective encoding used by the
+// cache key: keys sorted, each record length-prefixed as
+// "<len(name)>:<name>=<len(value)>:<value>\n" with the value in its canonical
+// text form. The length prefixes make the encoding a prefix code — a decoder
+// reads the digits up to ':', takes exactly that many bytes, and repeats — so
+// no name or value content (including '=', ':', or '\n' inside string
+// params) can make two different assignments encode to the same bytes. The
+// old unprefixed "name=value\n" form collided on exactly those characters;
+// cacheSchemaVersion was bumped when the encoding changed so old entries
+// miss cleanly.
 func (v Values) Canonical() string {
 	names := make([]string, 0, len(v))
 	for name := range v {
@@ -263,9 +271,14 @@ func (v Values) Canonical() string {
 	sort.Strings(names)
 	var b strings.Builder
 	for _, name := range names {
+		val := FormatValue(v[name])
+		b.WriteString(strconv.Itoa(len(name)))
+		b.WriteByte(':')
 		b.WriteString(name)
 		b.WriteByte('=')
-		b.WriteString(FormatValue(v[name]))
+		b.WriteString(strconv.Itoa(len(val)))
+		b.WriteByte(':')
+		b.WriteString(val)
 		b.WriteByte('\n')
 	}
 	return b.String()

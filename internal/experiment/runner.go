@@ -22,10 +22,13 @@ func NewJob(s Scenario) Job {
 }
 
 // CacheStats counts a runner's cache traffic. Misses counts scenario
-// executions, so with a nil cache every job is a miss.
+// executions, so with a nil cache every job is a miss. Shared counts
+// coalesced calls: concurrent identical jobs that received another caller's
+// in-flight result without executing or touching the disk cache themselves.
 type CacheStats struct {
 	Hits   int64
 	Misses int64
+	Shared int64
 }
 
 // Runner executes jobs — concurrently, deterministically, and optionally
@@ -40,15 +43,29 @@ type Runner struct {
 	ScenarioWorkers int
 	// Cache, when non-nil, is consulted before and filled after every run.
 	Cache *Cache
+	// Coalesce, when set, deduplicates concurrent identical jobs: callers
+	// whose cache key matches an in-flight execution share its result
+	// instead of running the scenario again (or racing on the cache).
+	// Results handed to coalesced callers are shared pointers and must be
+	// treated as read-only, which is already the package contract.
+	Coalesce bool
 
 	hits   atomic.Int64
 	misses atomic.Int64
+	shared atomic.Int64
+	flight flightGroup
 }
 
 // Stats returns the cache counters accumulated so far.
 func (r *Runner) Stats() CacheStats {
-	return CacheStats{Hits: r.hits.Load(), Misses: r.misses.Load()}
+	return CacheStats{Hits: r.hits.Load(), Misses: r.misses.Load(), Shared: r.shared.Load()}
 }
+
+// Waiting reports how many coalesced callers are currently parked on
+// in-flight executions — a live-load observability signal (and the hook
+// that lets tests release a blocked leader only after every concurrent
+// caller has joined its flight).
+func (r *Runner) Waiting() int { return r.flight.totalWaiters() }
 
 // Run executes every job and returns the results in job order. The first
 // failing job (by index) aborts the batch, matching internal/parallel's
@@ -61,6 +78,8 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]*Result, error) {
 
 // RunOne executes one job: merge params against the schema, consult the
 // cache, run on a miss, stamp the result's identity fields, and store it.
+// With Coalesce set, concurrent calls that resolve to the same cache key
+// share one execution.
 func (r *Runner) RunOne(ctx context.Context, job Job) (*Result, error) {
 	s := job.Scenario
 	if s == nil {
@@ -71,13 +90,28 @@ func (r *Runner) RunOne(ctx context.Context, job Job) (*Result, error) {
 		return nil, fmt.Errorf("scenario %s: %w", s.ID(), err)
 	}
 	key := CacheKey(s.ID(), merged, job.Seed)
+	if !r.Coalesce {
+		return r.runKeyed(ctx, s, merged, job.Seed, key)
+	}
+	res, shared, err := r.flight.do(ctx, key, func() (*Result, error) {
+		return r.runKeyed(ctx, s, merged, job.Seed, key)
+	})
+	if shared {
+		r.shared.Add(1)
+	}
+	return res, err
+}
+
+// runKeyed is the uncoalesced execution path: cache lookup, scenario run on
+// a miss, identity stamping, and write-back.
+func (r *Runner) runKeyed(ctx context.Context, s Scenario, merged Values, seed uint64, key string) (*Result, error) {
 	if r.Cache != nil {
-		if res, ok := r.Cache.Get(key); ok {
+		if res, ok := r.Cache.Get(key, s.ID()); ok {
 			r.hits.Add(1)
 			return res, nil
 		}
 	}
-	res, err := s.Run(WithWorkers(ctx, r.ScenarioWorkers), merged, job.Seed)
+	res, err := s.Run(WithWorkers(ctx, r.ScenarioWorkers), merged, seed)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.ID(), err)
 	}
@@ -87,7 +121,7 @@ func (r *Runner) RunOne(ctx context.Context, job Job) (*Result, error) {
 	res.ID = s.ID()
 	res.Title = s.Title()
 	res.Claim = s.Claim()
-	res.Seed = job.Seed
+	res.Seed = seed
 	res.Params = merged.Formatted()
 	r.misses.Add(1)
 	if r.Cache != nil {

@@ -1,0 +1,58 @@
+package serve
+
+import "container/list"
+
+// lruEntry is one cached response: the decoded Result's rendered body plus
+// the cache key it lives under. The body is what /run writes, so an LRU hit
+// skips param re-merging, disk I/O, and JSON re-rendering entirely.
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+// lru is a bounded most-recently-used response cache in front of the disk
+// cache. It is not safe for concurrent use; the Server guards it with its
+// own mutex so lookup+insert pairs stay atomic.
+type lru struct {
+	cap int
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+// newLRU returns a cache bounded to capacity entries; capacity <= 0 means
+// the cache is disabled (every get misses, every add is dropped).
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the entry under key, promoting it to most-recently-used.
+func (l *lru) get(key string) (*lruEntry, bool) {
+	el, ok := l.m[key]
+	if !ok {
+		return nil, false
+	}
+	l.ll.MoveToFront(el)
+	return el.Value.(*lruEntry), true
+}
+
+// add inserts or refreshes key's entry, evicting the least-recently-used
+// entry when the cache is over capacity.
+func (l *lru) add(key string, body []byte) {
+	if l.cap <= 0 {
+		return
+	}
+	if el, ok := l.m[key]; ok {
+		el.Value.(*lruEntry).body = body
+		l.ll.MoveToFront(el)
+		return
+	}
+	l.m[key] = l.ll.PushFront(&lruEntry{key: key, body: body})
+	for l.ll.Len() > l.cap {
+		oldest := l.ll.Back()
+		l.ll.Remove(oldest)
+		delete(l.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (l *lru) len() int { return l.ll.Len() }

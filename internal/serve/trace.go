@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/url"
+	"sort"
+	"strconv"
+
+	"repro/internal/experiment"
+	"repro/internal/rng"
+)
+
+// TraceSpec describes a deterministic synthetic workload: a universe of
+// (scenario, seed) variants ranked by Zipf popularity, sampled into a
+// request sequence. Equal specs build byte-identical traces, which is what
+// lets cmd/humnetload assert byte-identical service responses across runs.
+type TraceSpec struct {
+	// IDs are the scenario IDs in the universe; order matters (it feeds the
+	// deterministic rank shuffle).
+	IDs []string
+	// Registry resolves IDs; nil means experiment.Default.
+	Registry *experiment.Registry
+	// Requests is the trace length.
+	Requests int
+	// Variants is the number of distinct seeds per scenario (>= 1); the
+	// universe holds len(IDs) * Variants unique (id, seed) triples.
+	Variants int
+	// ZipfS is the popularity skew exponent: rank r is sampled with weight
+	// (r+1)^-ZipfS, so 0 is uniform and ~1.1 is web-like skew.
+	ZipfS float64
+	// Seed drives rank assignment, sampling, and query-form jitter.
+	Seed uint64
+	// ParamEcho is the probability a request spells out the scenario's
+	// default params explicitly (in randomized order) instead of relying on
+	// server-side defaults — same cache key, different URL, exercising the
+	// canonicalization path.
+	ParamEcho float64
+}
+
+// TraceRequest is one request of a built trace.
+type TraceRequest struct {
+	// ScenarioID and Seed identify the unique triple (params are always the
+	// scenario defaults).
+	ScenarioID string
+	Seed       uint64
+	// Query is the encoded /run query string, e.g. "id=E7&seed=9".
+	Query string
+}
+
+// variant is one universe entry: a scenario at one seed.
+type variant struct {
+	sc   experiment.Scenario
+	seed uint64
+}
+
+// BuildTrace samples spec into a request sequence. distinct is the number
+// of unique (id, seed) triples that actually appear in the trace — the
+// exact number of scenario executions a correctly coalescing, caching
+// server performs when replaying it cold.
+func BuildTrace(spec TraceSpec) (reqs []TraceRequest, distinct int, err error) {
+	reg := spec.Registry
+	if reg == nil {
+		reg = experiment.Default
+	}
+	if len(spec.IDs) == 0 {
+		return nil, 0, fmt.Errorf("serve: trace with no scenario IDs")
+	}
+	if spec.Requests < 0 || spec.ZipfS < 0 || spec.ParamEcho < 0 || spec.ParamEcho > 1 {
+		return nil, 0, fmt.Errorf("serve: invalid trace spec %+v", spec)
+	}
+	variants := spec.Variants
+	if variants < 1 {
+		variants = 1
+	}
+	universe := make([]variant, 0, len(spec.IDs)*variants)
+	for _, id := range spec.IDs {
+		sc, ok := reg.Get(id)
+		if !ok {
+			return nil, 0, fmt.Errorf("serve: unknown scenario %q in trace spec", id)
+		}
+		for v := 0; v < variants; v++ {
+			universe = append(universe, variant{sc: sc, seed: sc.DefaultSeed() + uint64(v)})
+		}
+	}
+
+	r := rng.New(spec.Seed)
+	// Rank assignment: shuffle so popularity is spread across scenarios
+	// rather than front-loading the first ID's variants.
+	for i := len(universe) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		universe[i], universe[j] = universe[j], universe[i]
+	}
+	// Zipf CDF over ranks.
+	cum := make([]float64, len(universe))
+	total := 0.0
+	for i := range universe {
+		total += zipfWeight(i, spec.ZipfS)
+		cum[i] = total
+	}
+
+	reqs = make([]TraceRequest, spec.Requests)
+	seen := make([]bool, len(universe))
+	for i := range reqs {
+		idx := sort.SearchFloat64s(cum, r.Float64()*total)
+		if idx >= len(universe) {
+			idx = len(universe) - 1
+		}
+		if !seen[idx] {
+			seen[idx] = true
+			distinct++
+		}
+		v := universe[idx]
+		reqs[i] = TraceRequest{
+			ScenarioID: v.sc.ID(),
+			Seed:       v.seed,
+			Query:      buildQuery(r, v, spec.ParamEcho),
+		}
+	}
+	return reqs, distinct, nil
+}
+
+// zipfWeight is rank idx's unnormalized popularity, 1/(idx+1)^s.
+func zipfWeight(idx int, s float64) float64 {
+	if s == 0 {
+		return 1
+	}
+	return 1 / math.Pow(float64(idx+1), s)
+}
+
+// buildQuery renders the request's query string. With probability echo the
+// scenario's default params are appended explicitly in a deterministically
+// shuffled order — the server must canonicalize them back onto the same
+// cache key.
+func buildQuery(r *rng.Rand, v variant, echo float64) string {
+	q := "id=" + url.QueryEscape(v.sc.ID()) + "&seed=" + strconv.FormatUint(v.seed, 10)
+	if echo <= 0 || !r.Bool(echo) {
+		return q
+	}
+	schema := v.sc.Params()
+	order := make([]int, len(schema))
+	for i := range order {
+		order[i] = i
+	}
+	for i := len(order) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	for _, pi := range order {
+		spec := schema[pi]
+		q += "&" + url.QueryEscape(spec.Name) + "=" + url.QueryEscape(experiment.FormatValue(spec.Default))
+	}
+	return q
+}
