@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet lint test test-race prop fuzz-smoke bench bench-json bench-serve serve-smoke report examples clean
+.PHONY: all check build vet lint test test-race prop fuzz-smoke bench bench-json bench-gate bench-serve serve-smoke report examples clean
 
 all: build vet lint test test-race report serve-smoke
 
@@ -58,15 +58,32 @@ bench:
 # Record the routing-engine + E1-E10 benchmark baseline into
 # BENCH_bgpsim.json (ns/op, B/op, allocs/op per benchmark). The baseline is
 # committed; re-run after perf-relevant changes and diff. BENCHTIME=1x gives
-# a quick single-iteration snapshot.
+# a quick single-iteration snapshot. BENCHREGEXP covers the engine scales,
+# the incremental-vs-cold delta pair, and the event-driven sweep pairs.
 BENCHTIME ?= 1s
+BENCHREGEXP = ^(BenchmarkConverge|BenchmarkDelta|BenchmarkSweep|BenchmarkLeakSweepEndToEnd|BenchmarkRunLeakSweep)
 bench-json:
 	@tmp=$$(mktemp); \
-	$(GO) test -run '^$$' -bench '^(BenchmarkConverge|BenchmarkLeakSweepEndToEnd|BenchmarkRunLeakSweep)' \
+	$(GO) test -run '^$$' -bench '$(BENCHREGEXP)' \
 		-benchmem -benchtime $(BENCHTIME) ./internal/bgpsim >>$$tmp || { rm -f $$tmp; exit 1; }; \
 	$(GO) test -run '^$$' -bench '^BenchmarkE([1-9]|10)[A-Z]' \
 		-benchmem -benchtime $(BENCHTIME) . >>$$tmp || { rm -f $$tmp; exit 1; }; \
 	$(GO) run ./cmd/benchjson -out BENCH_bgpsim.json <$$tmp; \
+	rm -f $$tmp
+
+# Re-run the same benchmarks and gate them against the committed baseline:
+# any benchmark whose ns/op regressed more than MAXREGRESS percent fails.
+# Benchmarks that exist on only one side (added/retired) are reported, never
+# fatal. CI runs this with a looser threshold to absorb shared-runner noise.
+MAXREGRESS ?= 25
+bench-gate:
+	@tmp=$$(mktemp); \
+	$(GO) test -run '^$$' -bench '$(BENCHREGEXP)' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/bgpsim >>$$tmp || { rm -f $$tmp; exit 1; }; \
+	$(GO) test -run '^$$' -bench '^BenchmarkE([1-9]|10)[A-Z]' \
+		-benchmem -benchtime $(BENCHTIME) . >>$$tmp || { rm -f $$tmp; exit 1; }; \
+	$(GO) run ./cmd/benchjson -compare BENCH_bgpsim.json -max-regress $(MAXREGRESS) <$$tmp \
+		|| { rm -f $$tmp; exit 1; }; \
 	rm -f $$tmp
 
 # One-command Markdown report of all measured tables, generated twice through

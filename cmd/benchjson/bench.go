@@ -1,0 +1,132 @@
+package main
+
+// Benchmark-output parsing and baseline comparison, separated from main so
+// the regression gate has unit tests (the gate guards the perf work; a gate
+// that silently passes everything would be worse than none).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"runtime"
+	"strconv"
+)
+
+// Benchmark is one measured benchmark result.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"b_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Baseline is the file layout of BENCH_bgpsim.json.
+type Baseline struct {
+	Schema     string      `json:"schema"`
+	Go         string      `json:"go"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	cpuLine   = regexp.MustCompile(`^cpu: (.+)$`)
+	// go test suffixes benchmark names with "-<GOMAXPROCS>" on multi-core
+	// machines and omits it on single-core ones. Strip it so a baseline
+	// recorded on one machine still matches a gate run on another; no
+	// benchmark here names its own sub-benchmarks "-<digits>".
+	procsSuffix = regexp.MustCompile(`-\d+$`)
+)
+
+// parseBenchOutput reads `go test -bench` text and collects the results.
+func parseBenchOutput(r io.Reader) (Baseline, error) {
+	base := Baseline{
+		Schema:     "bench-v1",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := cpuLine.FindStringSubmatch(line); m != nil {
+			base.CPU = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return base, fmt.Errorf("bad iteration count in %q: %v", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return base, fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		bench := Benchmark{Name: procsSuffix.ReplaceAllString(m[1], ""), Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			v, err := strconv.ParseInt(m[4], 10, 64)
+			if err != nil {
+				return base, fmt.Errorf("bad B/op in %q: %v", line, err)
+			}
+			bench.BytesPerOp = &v
+		}
+		if m[5] != "" {
+			v, err := strconv.ParseInt(m[5], 10, 64)
+			if err != nil {
+				return base, fmt.Errorf("bad allocs/op in %q: %v", line, err)
+			}
+			bench.AllocsPerOp = &v
+		}
+		base.Benchmarks = append(base.Benchmarks, bench)
+	}
+	if err := sc.Err(); err != nil {
+		return base, err
+	}
+	return base, nil
+}
+
+// compareBaselines checks cur against base benchmark-by-benchmark on ns/op.
+// It returns a human-readable report (one line per matched benchmark, worst
+// regressions flagged) and whether any matched benchmark regressed beyond
+// maxRegressPct. Benchmarks present on only one side are reported but do not
+// fail the gate: new benchmarks have no baseline yet and retired ones no
+// longer matter.
+func compareBaselines(cur, base Baseline, maxRegressPct float64) (report []string, regressed bool) {
+	baseByName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseByName[b.Name] = b
+	}
+	matched := make(map[string]bool, len(cur.Benchmarks))
+	for _, c := range cur.Benchmarks {
+		b, ok := baseByName[c.Name]
+		if !ok {
+			report = append(report, fmt.Sprintf("new      %-50s %12.0f ns/op (no baseline)", c.Name, c.NsPerOp))
+			continue
+		}
+		matched[c.Name] = true
+		if b.NsPerOp <= 0 {
+			report = append(report, fmt.Sprintf("skip     %-50s baseline ns/op is %g", c.Name, b.NsPerOp))
+			continue
+		}
+		deltaPct := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		verdict := "ok"
+		if deltaPct > maxRegressPct {
+			verdict = "REGRESS"
+			regressed = true
+		}
+		report = append(report, fmt.Sprintf("%-8s %-50s %12.0f -> %12.0f ns/op (%+.1f%%)",
+			verdict, c.Name, b.NsPerOp, c.NsPerOp, deltaPct))
+	}
+	for _, b := range base.Benchmarks {
+		if !matched[b.Name] {
+			report = append(report, fmt.Sprintf("missing  %-50s in baseline only", b.Name))
+		}
+	}
+	return report, regressed
+}

@@ -4,102 +4,63 @@
 // bgpsim engine + E1–E10 experiment benchmarks into BENCH_bgpsim.json so the
 // repo's perf trajectory is tracked in-tree.
 //
+// With -compare it becomes a regression gate instead: the fresh results on
+// stdin are checked against a committed baseline, and any benchmark whose
+// ns/op regressed more than -max-regress percent fails the run (exit 1).
+// Benchmarks present on only one side are reported but never fatal, so
+// adding or retiring benchmarks does not wedge the gate.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH.json
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -compare BENCH.json -max-regress 25
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"regexp"
-	"runtime"
-	"strconv"
-)
-
-// Benchmark is one measured benchmark result.
-type Benchmark struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  *int64  `json:"b_per_op,omitempty"`
-	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
-}
-
-// Baseline is the file layout of BENCH_bgpsim.json.
-type Baseline struct {
-	Schema     string      `json:"schema"`
-	Go         string      `json:"go"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
-
-var (
-	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
-	cpuLine   = regexp.MustCompile(`^cpu: (.+)$`)
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("out", "", "write the JSON baseline here (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON to gate against instead of writing one")
+	maxRegress := flag.Float64("max-regress", 25, "with -compare: max tolerated ns/op regression, percent")
 	flag.Parse()
 
-	base := Baseline{
-		Schema:     "bench-v1",
-		Go:         runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-	}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if m := cpuLine.FindStringSubmatch(line); m != nil {
-			base.CPU = m[1]
-			continue
-		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		iters, err := strconv.ParseInt(m[2], 10, 64)
-		if err != nil {
-			log.Fatalf("bad iteration count in %q: %v", line, err)
-		}
-		ns, err := strconv.ParseFloat(m[3], 64)
-		if err != nil {
-			log.Fatalf("bad ns/op in %q: %v", line, err)
-		}
-		bench := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			v, err := strconv.ParseInt(m[4], 10, 64)
-			if err != nil {
-				log.Fatalf("bad B/op in %q: %v", line, err)
-			}
-			bench.BytesPerOp = &v
-		}
-		if m[5] != "" {
-			v, err := strconv.ParseInt(m[5], 10, 64)
-			if err != nil {
-				log.Fatalf("bad allocs/op in %q: %v", line, err)
-			}
-			bench.AllocsPerOp = &v
-		}
-		base.Benchmarks = append(base.Benchmarks, bench)
-	}
-	if err := sc.Err(); err != nil {
+	cur, err := parseBenchOutput(os.Stdin)
+	if err != nil {
 		log.Fatal(err)
 	}
-	if len(base.Benchmarks) == 0 {
+	if len(cur.Benchmarks) == 0 {
 		log.Fatal("no benchmark lines found on stdin")
 	}
 
-	buf, err := json.MarshalIndent(base, "", "  ")
+	if *compare != "" {
+		buf, err := os.ReadFile(*compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var base Baseline
+		if err := json.Unmarshal(buf, &base); err != nil {
+			log.Fatalf("parsing baseline %s: %v", *compare, err)
+		}
+		report, regressed := compareBaselines(cur, base, *maxRegress)
+		for _, line := range report {
+			fmt.Println(line)
+		}
+		if regressed {
+			log.Fatalf("ns/op regressions above %g%% against %s", *maxRegress, *compare)
+		}
+		fmt.Printf("ok: no benchmark regressed more than %g%% against %s\n", *maxRegress, *compare)
+		return
+	}
+
+	buf, err := json.MarshalIndent(cur, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -113,5 +74,5 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(base.Benchmarks))
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(cur.Benchmarks))
 }

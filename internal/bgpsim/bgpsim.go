@@ -32,8 +32,10 @@ import (
 type ASN int
 
 // Relationship classifies how a route was learned, which determines both
-// local preference and export policy under Gao–Rexford.
-type Relationship int
+// local preference and export policy under Gao–Rexford. The underlying type
+// is a byte so the engine's dense table cells stay 16 bytes (see entry in
+// engine.go); the constant values and ordering are part of the public API.
+type Relationship uint8
 
 // Relationship values, ordered by local preference (higher is preferred).
 const (
@@ -170,6 +172,22 @@ func (t *Topology) AddPeer(a, b ASN) error {
 	return nil
 }
 
+// RemoveProviderCustomer deletes a provider-customer edge if present.
+func (t *Topology) RemoveProviderCustomer(provider, customer ASN) {
+	if p, ok := t.ases[provider]; ok {
+		delete(p.customers, customer)
+	}
+	if c, ok := t.ases[customer]; ok {
+		delete(c.providers, provider)
+	}
+}
+
+// HasProviderCustomer reports whether provider sells transit to customer.
+func (t *Topology) HasProviderCustomer(provider, customer ASN) bool {
+	p, ok := t.ases[provider]
+	return ok && p.customers[customer]
+}
+
 // RemovePeer deletes a peering edge if present.
 func (t *Topology) RemovePeer(a, b ASN) {
 	if x, ok := t.ases[a]; ok {
@@ -197,6 +215,20 @@ func (t *Topology) Originate(n ASN, prefix string) error {
 	return nil
 }
 
+// hasOrigin reports whether n currently originates prefix.
+func (t *Topology) hasOrigin(n ASN, prefix string) bool {
+	a, ok := t.ases[n]
+	if !ok {
+		return false
+	}
+	for _, p := range a.origins {
+		if p == prefix {
+			return true
+		}
+	}
+	return false
+}
+
 // Origins returns the prefixes originated by n.
 func (t *Topology) Origins(n ASN) []string {
 	a, ok := t.ases[n]
@@ -204,6 +236,34 @@ func (t *Topology) Origins(n ASN) []string {
 		return nil
 	}
 	return append([]string(nil), a.origins...)
+}
+
+// Clone returns a deep copy of the topology: mutating either copy (links,
+// origins, leaker flags) never affects the other. Used by the scenario
+// parser to validate event sequences without disturbing the base topology.
+func (t *Topology) Clone() *Topology {
+	out := &Topology{ases: make(map[ASN]*as, len(t.ases))}
+	for n, a := range t.ases {
+		c := &as{
+			info:      a.info,
+			providers: make(map[ASN]bool, len(a.providers)),
+			customers: make(map[ASN]bool, len(a.customers)),
+			peers:     make(map[ASN]bool, len(a.peers)),
+			origins:   append([]string(nil), a.origins...),
+			leaker:    a.leaker,
+		}
+		for p := range a.providers {
+			c.providers[p] = true
+		}
+		for p := range a.customers {
+			c.customers[p] = true
+		}
+		for p := range a.peers {
+			c.peers[p] = true
+		}
+		out.ases[n] = c
+	}
+	return out
 }
 
 // Neighbors returns all neighbors of n with the relationship of each from
@@ -245,6 +305,12 @@ type RoutingTables struct {
 	prefixes []string
 	pfxIdx   map[string]int32
 	entries  []entry // prefix-major: entries[p*len(asns)+a]
+	// order lists column indices in ascending prefix-string order. A cold
+	// compile sorts prefixes so order starts as the identity; incremental
+	// announcements of new prefixes append their column at the end of
+	// entries and splice the index here, keeping accessors that enumerate
+	// prefixes (Prefixes) byte-identical to a cold convergence.
+	order []int32
 }
 
 func newRoutingTables(asns []ASN, prefixes []string) *RoutingTables {
@@ -254,14 +320,48 @@ func newRoutingTables(asns []ASN, prefixes []string) *RoutingTables {
 		prefixes: prefixes,
 		pfxIdx:   make(map[string]int32, len(prefixes)),
 		entries:  make([]entry, len(asns)*len(prefixes)),
+		order:    make([]int32, len(prefixes)),
 	}
 	for i, n := range asns {
 		rt.asIdx[n] = int32(i)
 	}
 	for i, p := range prefixes {
 		rt.pfxIdx[p] = int32(i)
+		rt.order[i] = int32(i)
 	}
 	return rt
+}
+
+// addPrefixColumn appends a zeroed column for a new prefix and returns its
+// dense index. The caller guarantees the prefix is not already present.
+func (rt *RoutingTables) addPrefixColumn(prefix string) int32 {
+	pi := int32(len(rt.prefixes))
+	rt.prefixes = append(rt.prefixes, prefix)
+	rt.pfxIdx[prefix] = pi
+	rt.entries = append(rt.entries, make([]entry, len(rt.asns))...)
+	at := sort.Search(len(rt.order), func(i int) bool {
+		return rt.prefixes[rt.order[i]] >= prefix
+	})
+	rt.order = append(rt.order, 0)
+	copy(rt.order[at+1:], rt.order[at:])
+	rt.order[at] = pi
+	return pi
+}
+
+// dropLastPrefixColumn removes the most recently added column. Only valid
+// immediately after addPrefixColumn (LIFO), which Converged.Revert enforces.
+func (rt *RoutingTables) dropLastPrefixColumn() {
+	pi := int32(len(rt.prefixes) - 1)
+	prefix := rt.prefixes[pi]
+	rt.prefixes = rt.prefixes[:pi]
+	delete(rt.pfxIdx, prefix)
+	rt.entries = rt.entries[:int(pi)*len(rt.asns)]
+	for i, o := range rt.order {
+		if o == pi {
+			rt.order = append(rt.order[:i], rt.order[i+1:]...)
+			break
+		}
+	}
 }
 
 // lookup returns the cell for (n, prefix), or nil when either is unknown.
@@ -320,9 +420,9 @@ func (rt *RoutingTables) Prefixes(n ASN) []string {
 		return nil
 	}
 	out := make([]string, 0, len(rt.prefixes))
-	for pi, p := range rt.prefixes {
-		if rt.entries[pi*len(rt.asns)+int(ai)].head != nil {
-			out = append(out, p)
+	for _, pi := range rt.order {
+		if rt.entries[int(pi)*len(rt.asns)+int(ai)].head != nil {
+			out = append(out, rt.prefixes[pi])
 		}
 	}
 	return out

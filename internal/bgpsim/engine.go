@@ -120,19 +120,101 @@ type neighborEdge struct {
 	receiveAll bool
 }
 
-// engine is the compiled form of a Topology, valid for one convergence run
-// (it snapshots origins, links, and leaker flags at compile time).
+// engine is the compiled form of a Topology. A plain Converge discards it
+// with the run; ConvergeState keeps it alive (together with the interning
+// maps and safety statistics below) so Apply can patch the compiled form
+// in place and re-converge only the blast radius of a delta.
 type engine struct {
 	asns      []ASN
+	idx       map[ASN]int32 // ASN -> dense index
 	prefixes  []string
+	pfxIdx    map[string]int32 // prefix -> column index
 	nbr       [][]neighborEdge // per AS, sorted by neighbor index ascending
 	origins   [][]int32        // per prefix, origin AS indices ascending (deduped)
 	maxRounds int
+
+	// Safety statistics for incremental re-convergence (see incremental.go):
+	// when the effective provider→customer digraph is acyclic and at most one
+	// AS violates valley-free export, Gao–Rexford guarantees a unique stable
+	// state, so a frontier-seeded fixpoint from the old tables lands on the
+	// same state a cold run would. Outside that regime Apply falls back to
+	// cold per-column recomputation.
+	c2pAcyclic bool
+	leaky      []bool // per AS: violates valley-free export somewhere
+	nLeaky     int
 }
 
-// compile interns the topology into dense form. Neighbor relationship
+// compileEdges builds the sorted adjacency of n. Neighbor relationship
 // resolution matches Neighbors(): when an ASN is recorded under several link
 // sets, customer overrides provider and peer overrides both.
+func compileEdges(t *Topology, idx map[ASN]int32, n ASN) []neighborEdge {
+	rels := t.Neighbors(n)
+	edges := make([]neighborEdge, 0, len(rels))
+	for nb, rel := range rels {
+		other := t.ases[nb]
+		edges = append(edges, neighborEdge{
+			idx:        idx[nb],
+			rel:        rel,
+			receiveAll: other.customers[n] || other.leaker,
+		})
+	}
+	sort.Slice(edges, func(a, b int) bool { return edges[a].idx < edges[b].idx })
+	return edges
+}
+
+// leakyExporter reports whether a violates valley-free export toward some
+// neighbor: a flagged leaker re-exports everything, and a customer edge
+// overridden to peer still feeds the raw customer map into receiveAll while
+// the effective relationship is lateral — the same kind of violation.
+func leakyExporter(a *as) bool {
+	if a.leaker {
+		return true
+	}
+	for c := range a.customers {
+		if a.peers[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// computeC2PAcyclic reports whether the effective provider→customer digraph
+// (post relationship-override resolution) is acyclic — the Gao–Rexford
+// precondition for a unique routing fixpoint. Kahn's algorithm over the
+// compiled adjacency.
+func (e *engine) computeC2PAcyclic() bool {
+	n := len(e.asns)
+	indeg := make([]int32, n)
+	for i := range e.nbr {
+		for _, ed := range e.nbr[i] {
+			if ed.rel == FromCustomer {
+				indeg[ed.idx]++
+			}
+		}
+	}
+	queue := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		for _, ed := range e.nbr[i] {
+			if ed.rel == FromCustomer {
+				if indeg[ed.idx]--; indeg[ed.idx] == 0 {
+					queue = append(queue, ed.idx)
+				}
+			}
+		}
+	}
+	return done == n
+}
+
+// compile interns the topology into dense form.
 func (t *Topology) compile() *engine {
 	asns := t.ASNs()
 	idx := make(map[ASN]int32, len(asns))
@@ -140,22 +222,17 @@ func (t *Topology) compile() *engine {
 		idx[n] = int32(i)
 	}
 
-	e := &engine{asns: asns, maxRounds: 4*len(asns) + 16}
+	e := &engine{asns: asns, idx: idx, maxRounds: 4*len(asns) + 16}
 	e.nbr = make([][]neighborEdge, len(asns))
+	e.leaky = make([]bool, len(asns))
 	for i, n := range asns {
-		rels := t.Neighbors(n)
-		edges := make([]neighborEdge, 0, len(rels))
-		for nb, rel := range rels {
-			other := t.ases[nb]
-			edges = append(edges, neighborEdge{
-				idx:        idx[nb],
-				rel:        rel,
-				receiveAll: other.customers[n] || other.leaker,
-			})
+		e.nbr[i] = compileEdges(t, idx, n)
+		if leakyExporter(t.ases[n]) {
+			e.leaky[i] = true
+			e.nLeaky++
 		}
-		sort.Slice(edges, func(a, b int) bool { return edges[a].idx < edges[b].idx })
-		e.nbr[i] = edges
 	}
+	e.c2pAcyclic = e.computeC2PAcyclic()
 
 	pfxIdx := make(map[string]int32)
 	for _, n := range asns {
@@ -170,6 +247,7 @@ func (t *Topology) compile() *engine {
 	for i, p := range e.prefixes {
 		pfxIdx[p] = int32(i)
 	}
+	e.pfxIdx = pfxIdx
 	e.origins = make([][]int32, len(e.prefixes))
 	for i, n := range asns {
 		for _, p := range t.ases[n].origins {
@@ -183,6 +261,19 @@ func (t *Topology) compile() *engine {
 		}
 	}
 	return e
+}
+
+// incrementalSafe reports whether frontier-seeded re-convergence from the
+// current tables is guaranteed to reach the same fixpoint as a cold run:
+// the classical Gao–Rexford uniqueness conditions — acyclic effective
+// customer hierarchy and zero export violators. Even a single leaker
+// admits multiple stable states (the leaked route and a loop-blocking
+// alternative can each lock in the lexicographic tie at some AS depending
+// on which arrived first), and then the state reached depends on the
+// starting tables; property testing found exactly that divergence, so the
+// bound is zero, not one.
+func (e *engine) incrementalSafe() bool {
+	return e.c2pAcyclic && e.nLeaky == 0
 }
 
 func (e *engine) originates(p int, i int32) bool {
@@ -257,6 +348,73 @@ func (e *engine) convergePrefix(p int, col []entry, st *convState) {
 			st.changed = append(st.changed, u.idx)
 		}
 	}
+}
+
+// undoCell records one overwritten table cell so Converged.Revert can
+// restore the exact pre-Apply bytes without re-converging.
+type undoCell struct {
+	idx int32
+	e   entry
+}
+
+// reconvergeColumn continues the synchronous fixpoint for prefix p from the
+// current column state, evaluating exactly the seed ASes in the first round
+// (the frontier whose inputs the delta changed) and then draining the usual
+// change-driven queue. Every overwritten cell's previous value is appended
+// to *log, oldest first. Returns false when the round cap was hit before
+// quiescence — the caller must then recompute the column cold, which keeps
+// malformed (non-converging) topologies bit-identical to the cold oracle.
+func (e *engine) reconvergeColumn(p int, col []entry, st *convState, seeds []int32, log *[]undoCell) bool {
+	st.updates = st.updates[:0]
+	for _, i := range seeds {
+		if ne, changed := e.selectBest(i, p, col, &st.arena); changed {
+			st.updates = append(st.updates, colUpdate{idx: i, e: ne})
+		}
+	}
+	for round := 1; round < e.maxRounds; round++ {
+		if len(st.updates) == 0 {
+			return true
+		}
+		// Apply the batch, logging prior values for revert, then queue the
+		// neighbors of everything that changed — same synchronous-round
+		// semantics as convergePrefix, just seeded from mid-flight state.
+		st.changed = st.changed[:0]
+		for _, u := range st.updates {
+			*log = append(*log, undoCell{idx: u.idx, e: col[u.idx]})
+			col[u.idx] = u.e
+			st.changed = append(st.changed, u.idx)
+		}
+		st.queue = st.queue[:0]
+		for _, c := range st.changed {
+			for _, ed := range e.nbr[c] {
+				if !st.inQueue[ed.idx] {
+					st.inQueue[ed.idx] = true
+					st.queue = append(st.queue, ed.idx)
+				}
+			}
+		}
+		st.updates = st.updates[:0]
+		for _, i := range st.queue {
+			st.inQueue[i] = false
+			if ne, changed := e.selectBest(i, p, col, &st.arena); changed {
+				st.updates = append(st.updates, colUpdate{idx: i, e: ne})
+			}
+		}
+	}
+	return len(st.updates) == 0
+}
+
+// coldColumn recomputes column p from scratch, first logging every cell —
+// empty ones included, since the recompute may fill them and the caller's
+// undo log must restore the exact pre-Apply state — and zeroing the column.
+// Used when incremental re-convergence is not trusted (unsafe topology
+// before or after the delta) or gave up (round cap).
+func (e *engine) coldColumn(p int, col []entry, st *convState, log *[]undoCell) {
+	for i := range col {
+		*log = append(*log, undoCell{idx: int32(i), e: col[i]})
+		col[i] = entry{}
+	}
+	e.convergePrefix(p, col, st)
 }
 
 // selectBest recomputes AS i's selection for prefix p from the current
@@ -355,16 +513,58 @@ func (t *Topology) Converge() *RoutingTables {
 func (t *Topology) ConvergeWorkers(workers int) *RoutingTables {
 	e := t.compile()
 	rt := newRoutingTables(e.asns, e.prefixes)
-	nAS := len(e.asns)
-	if nAS == 0 || len(e.prefixes) == 0 {
-		return rt
+	e.convergeAll(rt, workers)
+	return rt
+}
+
+// serialWorkFloor is the table-cell count (prefixes × ASes) below which the
+// fork-join machinery costs more than it saves and convergeAll runs the
+// columns serially on the calling goroutine regardless of the worker knob.
+const serialWorkFloor = 1 << 15
+
+// convergeChunks splits nP prefix columns into coarse contiguous chunks,
+// about four per worker, so each parallel task amortizes its dispatch and
+// scratch-state checkout over many columns instead of paying them per
+// prefix. Returns the chunk size.
+func convergeChunks(nP, workers int) int {
+	chunk := (nP + 4*workers - 1) / (4 * workers)
+	if chunk < 1 {
+		chunk = 1
 	}
+	return chunk
+}
+
+// convergeAll runs the cold fixpoint for every column of rt. Columns are
+// independent, so the fan-out chunks them coarsely across workers; below
+// serialWorkFloor cells (or with one effective worker) it skips the
+// parallel machinery entirely.
+func (e *engine) convergeAll(rt *RoutingTables, workers int) {
+	nAS, nP := len(e.asns), len(e.prefixes)
+	if nAS == 0 || nP == 0 {
+		return
+	}
+	w := parallel.Workers(workers, nP)
+	if w == 1 || nAS*nP < serialWorkFloor {
+		st := &convState{inQueue: make([]bool, nAS)}
+		for p := 0; p < nP; p++ {
+			e.convergePrefix(p, rt.entries[p*nAS:(p+1)*nAS], st)
+		}
+		return
+	}
+	chunk := convergeChunks(nP, w)
+	nChunks := (nP + chunk - 1) / chunk
 	pool := sync.Pool{New: func() any {
 		return &convState{inQueue: make([]bool, nAS)}
 	}}
-	err := parallel.ForEach(context.Background(), len(e.prefixes), workers, func(p int) error {
+	err := parallel.ForEach(context.Background(), nChunks, w, func(ci int) error {
 		st := pool.Get().(*convState)
-		e.convergePrefix(p, rt.entries[p*nAS:(p+1)*nAS], st)
+		hi := (ci + 1) * chunk
+		if hi > nP {
+			hi = nP
+		}
+		for p := ci * chunk; p < hi; p++ {
+			e.convergePrefix(p, rt.entries[p*nAS:(p+1)*nAS], st)
+		}
 		pool.Put(st)
 		return nil
 	})
@@ -373,5 +573,4 @@ func (t *Topology) ConvergeWorkers(workers int) *RoutingTables {
 		// so only a worker panic can land here; re-raise it.
 		panic(err)
 	}
-	return rt
 }

@@ -7,12 +7,36 @@ import (
 	"repro/internal/rng"
 )
 
-// Hierarchy describes a generated three-tier topology.
+// Hierarchy describes a generated Internet-like topology.
 type Hierarchy struct {
 	Topo  *Topology
 	Tier1 []ASN
+	Hubs  []ASN // regional concentrators; empty for the classic three-tier shape
 	Mids  []ASN
 	Stubs []ASN
+	// OriginStubs lists the stubs that originate a prefix ("pfx-<asn>"), in
+	// ascending order. Equal to Stubs unless HierarchyOpts.OriginEvery thins
+	// the prefix table for large-scale runs.
+	OriginStubs []ASN
+}
+
+// HierarchyOpts parameterizes BuildHierarchyOpts. The zero value of every
+// knob reproduces the classic BuildHierarchy shape exactly (same ASNs, same
+// RNG draw sequence), so existing seeds keep their topologies.
+type HierarchyOpts struct {
+	NMid  int
+	NStub int
+	// Hubs > 0 inserts a route-reflector-flavoured tier between the tier-1
+	// clique and the mids: Hubs regional concentrator ASes, each dual-homed
+	// to tier-1 providers and peered in a ring (the reflector mesh), with the
+	// mids homed to hubs instead of tier-1s (the client sessions). The shape
+	// keeps path diversity per mid while cutting the tier-1 fan-out, which is
+	// what makes 100k-AS tables tractable.
+	Hubs int
+	// OriginEvery k > 1 makes only every k-th stub originate a prefix, so the
+	// prefix-column count — the dominant table dimension — scales sublinearly
+	// with AS count. 0 or 1 means every stub originates.
+	OriginEvery int
 }
 
 // BuildHierarchy generates a random three-tier Internet: a tier-1 clique of
@@ -20,6 +44,20 @@ type Hierarchy struct {
 // peering, and stubs with one or two mid providers. Every stub originates a
 // /16-style prefix named "pfx-<asn>".
 func BuildHierarchy(r *rng.Rand, nMid, nStub int) (*Hierarchy, error) {
+	return BuildHierarchyOpts(r, HierarchyOpts{NMid: nMid, NStub: nStub})
+}
+
+// BuildHierarchyOpts is BuildHierarchy with the scale knobs exposed. With
+// o.Hubs == 0 and o.OriginEvery <= 1 it draws exactly the same RNG sequence
+// and assigns the same ASNs as the classic generator (for nMid <= 900),
+// so seeded experiment topologies are stable across the two entry points.
+func BuildHierarchyOpts(r *rng.Rand, o HierarchyOpts) (*Hierarchy, error) {
+	if o.NStub > 0 && o.NMid <= 0 {
+		return nil, fmt.Errorf("bgpsim: hierarchy needs mids to home %d stubs", o.NStub)
+	}
+	if o.Hubs < 0 || o.Hubs > 90 {
+		return nil, fmt.Errorf("bgpsim: hub count %d outside [0, 90]", o.Hubs)
+	}
 	h := &Hierarchy{Topo: NewTopology()}
 	h.Tier1 = []ASN{1, 2, 3}
 	for _, n := range h.Tier1 {
@@ -34,18 +72,43 @@ func BuildHierarchy(r *rng.Rand, nMid, nStub int) (*Hierarchy, error) {
 			}
 		}
 	}
-	for i := 0; i < nMid; i++ {
+	// Hub tier (route-reflector flavour): ASNs 10..99, dual-homed upward,
+	// ring-peered sideways. midHomes is whatever tier the mids attach to.
+	midHomes := h.Tier1
+	for i := 0; i < o.Hubs; i++ {
+		n := ASN(10 + i)
+		if err := h.Topo.AddAS(n, ASInfo{Name: fmt.Sprintf("Hub-%d", n)}); err != nil {
+			return nil, err
+		}
+		h.Hubs = append(h.Hubs, n)
+		if err := h.Topo.AddProviderCustomer(h.Tier1[r.Intn(len(h.Tier1))], n); err != nil {
+			return nil, err
+		}
+		// Second upstream; a duplicate pick is harmless (idempotent sets).
+		_ = h.Topo.AddProviderCustomer(h.Tier1[r.Intn(len(h.Tier1))], n)
+	}
+	for i := 0; i < len(h.Hubs); i++ {
+		if j := (i + 1) % len(h.Hubs); j != i {
+			if err := h.Topo.AddPeer(h.Hubs[i], h.Hubs[j]); err != nil && !h.Topo.HasPeer(h.Hubs[i], h.Hubs[j]) {
+				return nil, err
+			}
+		}
+	}
+	if len(h.Hubs) > 0 {
+		midHomes = h.Hubs
+	}
+	for i := 0; i < o.NMid; i++ {
 		n := ASN(100 + i)
 		if err := h.Topo.AddAS(n, ASInfo{Name: fmt.Sprintf("Mid-%d", n)}); err != nil {
 			return nil, err
 		}
 		h.Mids = append(h.Mids, n)
-		if err := h.Topo.AddProviderCustomer(h.Tier1[r.Intn(len(h.Tier1))], n); err != nil {
+		if err := h.Topo.AddProviderCustomer(midHomes[r.Intn(len(midHomes))], n); err != nil {
 			return nil, err
 		}
 		if r.Bool(0.5) {
 			// Multihoming; a duplicate pick is harmless (idempotent sets).
-			_ = h.Topo.AddProviderCustomer(h.Tier1[r.Intn(len(h.Tier1))], n)
+			_ = h.Topo.AddProviderCustomer(midHomes[r.Intn(len(midHomes))], n)
 		}
 	}
 	for i := 0; i+1 < len(h.Mids); i += 2 {
@@ -55,8 +118,18 @@ func BuildHierarchy(r *rng.Rand, nMid, nStub int) (*Hierarchy, error) {
 			}
 		}
 	}
-	for i := 0; i < nStub; i++ {
-		n := ASN(1000 + i)
+	// Classic layout puts stubs at 1000+; past 900 mids that range is taken,
+	// so large-scale shapes start stubs right after the mid block instead.
+	stubBase := 1000
+	if 100+o.NMid > stubBase {
+		stubBase = 100 + o.NMid
+	}
+	every := o.OriginEvery
+	if every < 1 {
+		every = 1
+	}
+	for i := 0; i < o.NStub; i++ {
+		n := ASN(stubBase + i)
 		if err := h.Topo.AddAS(n, ASInfo{Name: fmt.Sprintf("Stub-%d", n)}); err != nil {
 			return nil, err
 		}
@@ -67,8 +140,11 @@ func BuildHierarchy(r *rng.Rand, nMid, nStub int) (*Hierarchy, error) {
 		if r.Bool(0.3) {
 			_ = h.Topo.AddProviderCustomer(h.Mids[r.Intn(len(h.Mids))], n)
 		}
-		if err := h.Topo.Originate(n, fmt.Sprintf("pfx-%d", n)); err != nil {
-			return nil, err
+		if i%every == 0 {
+			if err := h.Topo.Originate(n, fmt.Sprintf("pfx-%d", n)); err != nil {
+				return nil, err
+			}
+			h.OriginStubs = append(h.OriginStubs, n)
 		}
 	}
 	return h, nil
@@ -86,16 +162,17 @@ type LeakRow struct {
 // RunLeakSweep builds a hierarchy, then measures the blast radius of a leak
 // by a representative stub and by each mid-tier AS, against a randomly
 // chosen victim prefix. Rows are sorted by the order tried (stub first,
-// then mids ascending). The per-scenario convergences run their prefixes on
-// GOMAXPROCS workers; see RunLeakSweepWorkers for the knob.
+// then mids ascending). The base topology converges once; each leaker is a
+// single incremental toggle applied and reverted against that state. See
+// RunLeakSweepWorkers for the parallelism knob.
 func RunLeakSweep(nMid, nStub int, seed uint64) ([]LeakRow, error) {
 	return RunLeakSweepWorkers(nMid, nStub, seed, 0)
 }
 
-// RunLeakSweepWorkers is RunLeakSweep with each convergence fanning its
-// independent prefixes across at most workers goroutines (workers <= 0 means
-// GOMAXPROCS). Convergence is bit-identical for every worker count, so the
-// rows are too.
+// RunLeakSweepWorkers is RunLeakSweep with the convergences fanning
+// independent prefix columns across at most workers goroutines (workers <= 0
+// means GOMAXPROCS). Convergence is bit-identical for every worker count, so
+// the rows are too.
 func RunLeakSweepWorkers(nMid, nStub int, seed uint64, workers int) ([]LeakRow, error) {
 	r := rng.New(seed)
 	h, err := BuildHierarchy(r.Split(), nMid, nStub)
@@ -103,6 +180,91 @@ func RunLeakSweepWorkers(nMid, nStub int, seed uint64, workers int) ([]LeakRow, 
 		return nil, err
 	}
 	victim := h.Stubs[r.Intn(len(h.Stubs))]
+	return leakSweepRows(h, victim, workers)
+}
+
+// RunLeakSweepOpts is the leak sweep over a BuildHierarchyOpts shape; the
+// victim is drawn from the originating stubs.
+func RunLeakSweepOpts(o HierarchyOpts, seed uint64, workers int) ([]LeakRow, error) {
+	r := rng.New(seed)
+	h, err := BuildHierarchyOpts(r.Split(), o)
+	if err != nil {
+		return nil, err
+	}
+	if len(h.OriginStubs) == 0 {
+		return nil, fmt.Errorf("bgpsim: leak sweep needs at least one originating stub")
+	}
+	victim := h.OriginStubs[r.Intn(len(h.OriginStubs))]
+	return leakSweepRows(h, victim, workers)
+}
+
+// leakSweepRows converges the base once and measures each leaker as an
+// incremental toggle scoped to the one column BlastRadius reads: a leaker
+// voids the unique-fixpoint guarantee, so the victim column is recomputed
+// cold (bit-identical to the full-converge oracle), every other column is
+// untouched, and Revert restores the base state from the undo log.
+func leakSweepRows(h *Hierarchy, victim ASN, workers int) ([]LeakRow, error) {
+	prefix := fmt.Sprintf("pfx-%d", victim)
+	c := h.Topo.ConvergeState(workers)
+	scope := []int32{c.rt.pfxIdx[prefix]}
+	measure := func(kind string, leaker ASN) (LeakRow, error) {
+		p, err := c.applyScoped(Delta{Kind: DeltaLeakToggle, A: leaker}, scope)
+		if err != nil {
+			return LeakRow{}, err
+		}
+		affected, reachable := BlastRadius(c.Tables(), leaker, prefix)
+		c.Revert(p)
+		row := LeakRow{
+			LeakerKind: kind,
+			LeakerASN:  leaker,
+			Providers:  len(providersOf(h.Topo, leaker)),
+			Affected:   len(affected),
+		}
+		if reachable > 0 {
+			row.AffectedShare = float64(row.Affected) / float64(reachable)
+		}
+		return row, nil
+	}
+
+	var rows []LeakRow
+	// One representative stub leaker that is not the victim.
+	for _, s := range h.Stubs {
+		if s != victim {
+			row, err := measure("stub", s)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			break
+		}
+	}
+	for _, m := range h.Mids {
+		row, err := measure("mid", m)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runLeakSweepFullWorkers is the pre-incremental sweep — one cold
+// convergence per leaker — kept as the equality oracle for the incremental
+// path and as the honest "before" side of the sweep benchmarks.
+func runLeakSweepFullWorkers(nMid, nStub int, seed uint64, workers int) ([]LeakRow, error) {
+	r := rng.New(seed)
+	h, err := BuildHierarchy(r.Split(), nMid, nStub)
+	if err != nil {
+		return nil, err
+	}
+	victim := h.Stubs[r.Intn(len(h.Stubs))]
+	return leakSweepRowsFull(h, victim, workers)
+}
+
+// leakSweepRowsFull is the cold-per-leaker counterpart of leakSweepRows over
+// an already-built hierarchy, so benchmarks can run both sides on the same
+// shape.
+func leakSweepRowsFull(h *Hierarchy, victim ASN, workers int) ([]LeakRow, error) {
 	prefix := fmt.Sprintf("pfx-%d", victim)
 
 	measure := func(kind string, leaker ASN) LeakRow {
@@ -123,7 +285,6 @@ func RunLeakSweepWorkers(nMid, nStub int, seed uint64, workers int) ([]LeakRow, 
 	}
 
 	var rows []LeakRow
-	// One representative stub leaker that is not the victim.
 	for _, s := range h.Stubs {
 		if s != victim {
 			rows = append(rows, measure("stub", s))
@@ -159,16 +320,17 @@ type HijackRow struct {
 // originates the victim's prefix, and every AS picks whichever origin its
 // policies prefer. Like leaks, the blast radius is economic: an attacker
 // close to many customers captures more of the network. One representative
-// stub and every mid-tier AS attack in turn. The per-scenario convergences
-// run their prefixes on GOMAXPROCS workers; see RunHijackSweepWorkers.
+// stub and every mid-tier AS attack in turn; each attack is an incremental
+// announce applied and reverted against the once-converged base. See
+// RunHijackSweepWorkers for the parallelism knob.
 func RunHijackSweep(nMid, nStub int, seed uint64) ([]HijackRow, error) {
 	return RunHijackSweepWorkers(nMid, nStub, seed, 0)
 }
 
-// RunHijackSweepWorkers is RunHijackSweep with each convergence fanning its
-// independent prefixes across at most workers goroutines (workers <= 0 means
-// GOMAXPROCS). Convergence is bit-identical for every worker count, so the
-// rows are too.
+// RunHijackSweepWorkers is RunHijackSweep with the convergences fanning
+// independent prefix columns across at most workers goroutines (workers <= 0
+// means GOMAXPROCS). Convergence is bit-identical for every worker count, so
+// the rows are too.
 func RunHijackSweepWorkers(nMid, nStub int, seed uint64, workers int) ([]HijackRow, error) {
 	r := rng.New(seed)
 	h, err := BuildHierarchy(r.Split(), nMid, nStub)
@@ -176,6 +338,95 @@ func RunHijackSweepWorkers(nMid, nStub int, seed uint64, workers int) ([]HijackR
 		return nil, err
 	}
 	victim := h.Stubs[r.Intn(len(h.Stubs))]
+	return hijackSweepRows(h, victim, workers)
+}
+
+// RunHijackSweepOpts is the hijack sweep over a BuildHierarchyOpts shape;
+// the victim is drawn from the originating stubs.
+func RunHijackSweepOpts(o HierarchyOpts, seed uint64, workers int) ([]HijackRow, error) {
+	r := rng.New(seed)
+	h, err := BuildHierarchyOpts(r.Split(), o)
+	if err != nil {
+		return nil, err
+	}
+	if len(h.OriginStubs) == 0 {
+		return nil, fmt.Errorf("bgpsim: hijack sweep needs at least one originating stub")
+	}
+	victim := h.OriginStubs[r.Intn(len(h.OriginStubs))]
+	return hijackSweepRows(h, victim, workers)
+}
+
+// hijackSweepRows converges the base once and measures each attacker as an
+// incremental announce of the victim's prefix, reverted after measuring.
+func hijackSweepRows(h *Hierarchy, victim ASN, workers int) ([]HijackRow, error) {
+	prefix := fmt.Sprintf("pfx-%d", victim)
+	c := h.Topo.ConvergeState(workers)
+	asns := h.Topo.ASNs()
+	measure := func(kind string, attacker ASN) (HijackRow, error) {
+		p, err := c.Apply(Delta{Kind: DeltaAnnounce, A: attacker, Prefix: prefix})
+		if err != nil {
+			return HijackRow{}, err
+		}
+		rt := c.Tables()
+		row := HijackRow{AttackerKind: kind, AttackerASN: attacker}
+		total := 0
+		for _, n := range asns {
+			if n == victim || n == attacker {
+				continue
+			}
+			path := rt.Path(n, prefix)
+			if path == nil {
+				continue
+			}
+			total++
+			if path[len(path)-1] == attacker {
+				row.Captured++
+			}
+		}
+		if total > 0 {
+			row.CapturedShare = float64(row.Captured) / float64(total)
+		}
+		c.Revert(p)
+		return row, nil
+	}
+
+	var rows []HijackRow
+	for _, s := range h.Stubs {
+		if s != victim {
+			row, err := measure("stub", s)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			break
+		}
+	}
+	for _, m := range h.Mids {
+		row, err := measure("mid", m)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runHijackSweepFullWorkers is the pre-incremental hijack sweep — one cold
+// convergence per attacker — kept as the equality oracle and benchmark
+// baseline (see runLeakSweepFullWorkers).
+func runHijackSweepFullWorkers(nMid, nStub int, seed uint64, workers int) ([]HijackRow, error) {
+	r := rng.New(seed)
+	h, err := BuildHierarchy(r.Split(), nMid, nStub)
+	if err != nil {
+		return nil, err
+	}
+	victim := h.Stubs[r.Intn(len(h.Stubs))]
+	return hijackSweepRowsFull(h, victim, workers)
+}
+
+// hijackSweepRowsFull is the cold-per-attacker counterpart of
+// hijackSweepRows over an already-built hierarchy (see leakSweepRowsFull).
+func hijackSweepRowsFull(h *Hierarchy, victim ASN, workers int) ([]HijackRow, error) {
 	prefix := fmt.Sprintf("pfx-%d", victim)
 
 	measure := func(kind string, attacker ASN) (HijackRow, error) {

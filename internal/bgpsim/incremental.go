@@ -1,0 +1,483 @@
+package bgpsim
+
+// Incremental re-convergence. The paper's routing case studies are deltas on
+// a stable world — one ASN re-shuffled, one leaker appearing, one prefix
+// hijacked — so re-running the full fixpoint per event wastes almost all of
+// its work. ConvergeState keeps the compiled engine, the node arenas, and
+// the dense tables alive; Apply patches the compiled form in place and
+// re-converges only the affected prefix columns, seeding the change-driven
+// work queue from the frontier of ASes whose inputs the delta touched
+// instead of from every origin; Revert restores the exact pre-Apply state
+// from a sparse undo log without re-converging at all.
+//
+// Contract: after every Apply, the live tables are observably identical
+// (Route/Path/Prefixes on every AS) to a cold Converge of the mutated
+// topology. That holds unconditionally, not just in expectation:
+//
+//   - When the effective provider→customer digraph is acyclic and no AS
+//     violates valley-free export, Gao–Rexford guarantees a unique stable
+//     state, so any quiescent state the frontier-seeded fixpoint reaches is
+//     the cold one (engine.incrementalSafe). The gate is checked on both
+//     sides of the delta: pre-delta safety certifies the live tables are a
+//     true fixpoint to warm-start from, post-delta safety that the seeded
+//     iteration can only quiesce on the unique stable state.
+//   - Outside that regime — or if the seeded fixpoint hits the round cap —
+//     Apply falls back to recomputing the affected columns cold, which is
+//     bit-identical to the cold engine by construction, round cap included.
+//     Leak toggles always take this path (a single leaker already admits
+//     several stable states), which is why the leak sweep scopes its
+//     applies to the one measured column (applyScoped).
+//
+// The frontier per delta kind: withdraw/announce touch one prefix column
+// with the (ex-)origin AS as seed; a link add/remove touches every column
+// with both endpoints as seeds (only their adjacency changed); a leak toggle
+// touches every column with the leaker's neighbors as seeds (only the
+// export edges toward the leaker changed). Everything further away changes
+// only through its neighbors' tables, which the ordinary change-driven
+// queue propagates.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// DeltaKind enumerates the topology mutations Apply understands.
+type DeltaKind uint8
+
+const (
+	// DeltaWithdraw removes A's origination of Prefix.
+	DeltaWithdraw DeltaKind = iota
+	// DeltaAnnounce adds an origination of Prefix at A.
+	DeltaAnnounce
+	// DeltaLinkUp adds a link between A and B: provider(A)→customer(B)
+	// transit, or settlement-free peering when Peer is set.
+	DeltaLinkUp
+	// DeltaLinkDown removes that link.
+	DeltaLinkDown
+	// DeltaLeakToggle flips A's route-leaker flag (see MarkLeaker).
+	DeltaLeakToggle
+)
+
+// String returns the event-grammar keyword of the kind (see parse.go).
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaWithdraw:
+		return "withdraw"
+	case DeltaAnnounce:
+		return "announce"
+	case DeltaLinkUp:
+		return "link+"
+	case DeltaLinkDown:
+		return "link-"
+	case DeltaLeakToggle:
+		return "leak"
+	default:
+		return fmt.Sprintf("DeltaKind(%d)", int(k))
+	}
+}
+
+// Delta is one topology event. A and Prefix serve withdraw/announce, A and B
+// (plus Peer) the link kinds, and A alone the leak toggle.
+type Delta struct {
+	Kind   DeltaKind
+	A, B   ASN
+	Prefix string
+	Peer   bool
+}
+
+// inverse returns the delta that undoes d. Leak toggles are self-inverse.
+func (d Delta) inverse() Delta {
+	switch d.Kind {
+	case DeltaWithdraw:
+		d.Kind = DeltaAnnounce
+	case DeltaAnnounce:
+		d.Kind = DeltaWithdraw
+	case DeltaLinkUp:
+		d.Kind = DeltaLinkDown
+	case DeltaLinkDown:
+		d.Kind = DeltaLinkUp
+	}
+	return d
+}
+
+// ErrBadDelta reports a delta that does not apply to the current topology
+// (unknown AS, withdrawing an absent origin, adding a present link, ...).
+var ErrBadDelta = fmt.Errorf("bgpsim: inapplicable delta")
+
+// applyDelta validates d against the current topology and mutates it.
+// Validation is strict in both directions — a withdraw of an absent origin
+// or a link-up of a present edge is an error, never a no-op — so every
+// applied delta has a well-defined inverse, which Revert and the scenario
+// parser both rely on.
+func (t *Topology) applyDelta(d Delta) error {
+	switch d.Kind {
+	case DeltaWithdraw:
+		if !t.hasOrigin(d.A, d.Prefix) {
+			return fmt.Errorf("%w: withdraw %d %s: not originated", ErrBadDelta, d.A, d.Prefix)
+		}
+		t.WithdrawOrigin(d.A, d.Prefix)
+	case DeltaAnnounce:
+		if _, ok := t.ases[d.A]; !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownAS, d.A)
+		}
+		if t.hasOrigin(d.A, d.Prefix) {
+			return fmt.Errorf("%w: announce %d %s: already originated", ErrBadDelta, d.A, d.Prefix)
+		}
+		return t.Originate(d.A, d.Prefix)
+	case DeltaLinkUp:
+		if d.Peer {
+			if t.HasPeer(d.A, d.B) {
+				return fmt.Errorf("%w: link+ peer %d %d: already present", ErrBadDelta, d.A, d.B)
+			}
+			return t.AddPeer(d.A, d.B)
+		}
+		if t.HasProviderCustomer(d.A, d.B) {
+			return fmt.Errorf("%w: link+ p2c %d %d: already present", ErrBadDelta, d.A, d.B)
+		}
+		return t.AddProviderCustomer(d.A, d.B)
+	case DeltaLinkDown:
+		if d.Peer {
+			if !t.HasPeer(d.A, d.B) {
+				return fmt.Errorf("%w: link- peer %d %d: not present", ErrBadDelta, d.A, d.B)
+			}
+			t.RemovePeer(d.A, d.B)
+			return nil
+		}
+		if !t.HasProviderCustomer(d.A, d.B) {
+			return fmt.Errorf("%w: link- p2c %d %d: not present", ErrBadDelta, d.A, d.B)
+		}
+		t.RemoveProviderCustomer(d.A, d.B)
+	case DeltaLeakToggle:
+		a, ok := t.ases[d.A]
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownAS, d.A)
+		}
+		a.leaker = !a.leaker
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrBadDelta, int(d.Kind))
+	}
+	return nil
+}
+
+// patchCol is the sparse undo log of one re-converged prefix column:
+// every overwritten cell's previous value, oldest first.
+type patchCol struct {
+	p   int32
+	log []undoCell
+}
+
+// Patch records everything needed to undo one Apply: the delta itself (its
+// inverse undoes the structural mutation) and the overwritten table cells.
+// Patches are strictly LIFO: only the most recent unreverted patch may be
+// reverted.
+type Patch struct {
+	delta       Delta
+	cols        []patchCol
+	addedPrefix bool // Apply created a new prefix column (dropped on Revert)
+	seq         int
+}
+
+// Delta returns the delta this patch applied.
+func (p *Patch) Delta() Delta { return p.delta }
+
+// Cells returns the number of table cells the apply overwrote — the measured
+// blast radius of the delta.
+func (p *Patch) Cells() int {
+	n := 0
+	for i := range p.cols {
+		n += len(p.cols[i].log)
+	}
+	return n
+}
+
+// Converged is a reusable convergence state: the topology, its compiled
+// engine, and the live routing tables, kept together so successive deltas
+// re-converge incrementally instead of from scratch. Obtain one with
+// ConvergeState; it is not safe for concurrent use.
+type Converged struct {
+	t       *Topology
+	e       *engine
+	rt      *RoutingTables
+	workers int
+	st      *convState
+	applied int // LIFO depth, for Revert-order enforcement
+}
+
+// ConvergeState compiles t, converges it fully (fanning prefix columns over
+// at most workers goroutines; <= 0 means GOMAXPROCS), and returns the live
+// state. The topology is captured by reference: mutate it only through
+// Apply/Revert while the state is in use, or the compiled form goes stale.
+func (t *Topology) ConvergeState(workers int) *Converged {
+	e := t.compile()
+	rt := newRoutingTables(e.asns, e.prefixes)
+	e.convergeAll(rt, workers)
+	return &Converged{
+		t:       t,
+		e:       e,
+		rt:      rt,
+		workers: workers,
+		st:      &convState{inQueue: make([]bool, len(e.asns))},
+	}
+}
+
+// Tables returns the live routing tables. They mutate in place on every
+// Apply/Revert; take copies (Route/Path materialize fresh slices) to keep
+// results across events.
+func (c *Converged) Tables() *RoutingTables { return c.rt }
+
+// Topology returns the underlying topology (mutated by Apply/Revert).
+func (c *Converged) Topology() *Topology { return c.t }
+
+// Apply mutates the topology by d and re-converges exactly the affected
+// prefix columns from the frontier of ASes the delta touched. On success
+// the live tables are observably identical to a cold Converge of the
+// mutated topology, and the returned patch undoes everything via Revert.
+// On error nothing changed.
+//
+// Deltas that introduce or remove an AS are deliberately absent: the dense
+// index space is fixed at ConvergeState time.
+func (c *Converged) Apply(d Delta) (*Patch, error) {
+	return c.applyScoped(d, nil)
+}
+
+// applyScoped is Apply with an optional column scope: when scope is non-nil
+// only those prefix columns are re-converged, and every column outside the
+// scope keeps its pre-delta state — deliberately stale until the patch is
+// reverted. The sweeps use this to pay for exactly the one column they
+// measure (a leak toggle would otherwise cold-recompute every column, since
+// leakers void the uniqueness guarantee); it stays unexported because the
+// partial-staleness contract is easy to misuse.
+func (c *Converged) applyScoped(d Delta, scope []int32) (*Patch, error) {
+	// The frontier-seeded path needs safety on BOTH sides of the delta:
+	// pre-delta safety guarantees the live tables are a true fixpoint (an
+	// unsafe era leaves cap-truncated tables whose non-seed cells are not
+	// best responses), post-delta safety guarantees the seeded iteration
+	// can only quiesce on the unique stable state.
+	preSafe := c.e.incrementalSafe()
+	addedPrefix, err := c.applyStructural(d)
+	if err != nil {
+		return nil, err
+	}
+	p := &Patch{delta: d, addedPrefix: addedPrefix, seq: c.applied + 1}
+	cols, seeds := c.affected(d)
+	if scope != nil {
+		cols = scope
+	}
+	c.reconverge(p, cols, seeds, preSafe && c.e.incrementalSafe())
+	c.applied++
+	return p, nil
+}
+
+// Revert undoes the most recent unreverted Apply: replays the undo log in
+// reverse (restoring the exact pre-Apply table bytes, shared path chains
+// included) and applies the inverse delta to the topology and compiled
+// engine. Patches are LIFO; reverting out of order panics.
+func (c *Converged) Revert(p *Patch) {
+	if p == nil || p.seq != c.applied {
+		panic("bgpsim: Converged.Revert: patches must be reverted in LIFO order")
+	}
+	nAS := len(c.e.asns)
+	for i := len(p.cols) - 1; i >= 0; i-- {
+		pc := &p.cols[i]
+		col := c.rt.entries[int(pc.p)*nAS : (int(pc.p)+1)*nAS]
+		for j := len(pc.log) - 1; j >= 0; j-- {
+			col[pc.log[j].idx] = pc.log[j].e
+		}
+	}
+	if _, err := c.applyStructural(p.delta.inverse()); err != nil {
+		// The inverse of a validated, applied delta always applies.
+		panic("bgpsim: Converged.Revert: " + err.Error())
+	}
+	if p.addedPrefix {
+		c.dropNewestPrefix()
+	}
+	c.applied--
+}
+
+// applyStructural mutates the topology and patches the compiled engine to
+// match, without touching the tables. Returns whether a new prefix column
+// was created.
+func (c *Converged) applyStructural(d Delta) (addedPrefix bool, err error) {
+	e := c.e
+	if d.Kind == DeltaWithdraw || d.Kind == DeltaAnnounce {
+		if _, ok := e.idx[d.A]; !ok {
+			return false, fmt.Errorf("%w: %d", ErrUnknownAS, d.A)
+		}
+	}
+	if err := c.t.applyDelta(d); err != nil {
+		return false, err
+	}
+	switch d.Kind {
+	case DeltaWithdraw:
+		pi := e.pfxIdx[d.Prefix] // present: the origin existed, so compile/announce saw it
+		e.origins[pi] = removeSorted(e.origins[pi], e.idx[d.A])
+	case DeltaAnnounce:
+		pi, ok := e.pfxIdx[d.Prefix]
+		if !ok {
+			pi = int32(len(e.prefixes))
+			e.prefixes = append(e.prefixes, d.Prefix)
+			e.pfxIdx[d.Prefix] = pi
+			e.origins = append(e.origins, nil)
+			c.rt.addPrefixColumn(d.Prefix)
+			addedPrefix = true
+		}
+		e.origins[pi] = insertSorted(e.origins[pi], e.idx[d.A])
+	case DeltaLinkUp, DeltaLinkDown:
+		for _, n := range [2]ASN{d.A, d.B} {
+			i := e.idx[n]
+			e.nbr[i] = compileEdges(c.t, e.idx, n)
+			c.updateLeaky(i)
+		}
+		// Relationship overrides mean even a peer link can change the
+		// effective provider→customer digraph; recompute acyclicity.
+		e.c2pAcyclic = e.computeC2PAcyclic()
+	case DeltaLeakToggle:
+		i := e.idx[d.A]
+		a := c.t.ases[d.A]
+		// Export policy lives on the receiving side: every neighbor's edge
+		// toward the leaker carries the receiveAll flag. Patch those edges
+		// in place (binary search; adjacency is sorted by index).
+		for _, ed := range e.nbr[i] {
+			nb := e.nbr[ed.idx]
+			at := sort.Search(len(nb), func(k int) bool { return nb[k].idx >= i })
+			nb[at].receiveAll = a.customers[e.asns[ed.idx]] || a.leaker
+		}
+		c.updateLeaky(i)
+	}
+	return addedPrefix, nil
+}
+
+// updateLeaky refreshes the per-AS export-violation flag and the global
+// violator count after a structural change at index i.
+func (c *Converged) updateLeaky(i int32) {
+	now := leakyExporter(c.t.ases[c.e.asns[i]])
+	if now != c.e.leaky[i] {
+		c.e.leaky[i] = now
+		if now {
+			c.e.nLeaky++
+		} else {
+			c.e.nLeaky--
+		}
+	}
+}
+
+// dropNewestPrefix removes the prefix column Apply appended (LIFO, enforced
+// by Revert's seq check).
+func (c *Converged) dropNewestPrefix() {
+	e := c.e
+	last := len(e.prefixes) - 1
+	delete(e.pfxIdx, e.prefixes[last])
+	e.prefixes = e.prefixes[:last]
+	e.origins = e.origins[:last]
+	c.rt.dropLastPrefixColumn()
+}
+
+// affected returns the prefix columns a just-applied delta can influence and
+// the seed frontier to re-evaluate first. nil cols means every column.
+func (c *Converged) affected(d Delta) (cols []int32, seeds []int32) {
+	e := c.e
+	switch d.Kind {
+	case DeltaWithdraw, DeltaAnnounce:
+		return []int32{e.pfxIdx[d.Prefix]}, []int32{e.idx[d.A]}
+	case DeltaLinkUp, DeltaLinkDown:
+		seeds = []int32{e.idx[d.A], e.idx[d.B]}
+		if seeds[0] > seeds[1] {
+			seeds[0], seeds[1] = seeds[1], seeds[0]
+		}
+		return nil, seeds
+	default: // DeltaLeakToggle
+		i := e.idx[d.A]
+		seeds = make([]int32, len(e.nbr[i]))
+		for k, ed := range e.nbr[i] {
+			seeds[k] = ed.idx
+		}
+		return nil, seeds
+	}
+}
+
+// reconverge re-runs the fixpoint on the given columns (nil = all) from the
+// seed frontier, recording every overwritten cell into the patch. When safe
+// (see Apply), columns continue from the live tables; otherwise — and for
+// any column whose seeded fixpoint hit the round cap — they are recomputed
+// cold (see the package comment for why that preserves cold-identity).
+func (c *Converged) reconverge(p *Patch, cols []int32, seeds []int32, safe bool) {
+	e, rt := c.e, c.rt
+	nAS, nP := len(e.asns), len(e.prefixes)
+	if nAS == 0 || nP == 0 {
+		return
+	}
+	if cols == nil {
+		cols = make([]int32, nP)
+		for i := range cols {
+			cols[i] = int32(i)
+		}
+	}
+	run := func(pi int32, st *convState) []undoCell {
+		var log []undoCell
+		col := rt.entries[int(pi)*nAS : (int(pi)+1)*nAS]
+		if !safe || !e.reconvergeColumn(int(pi), col, st, seeds, &log) {
+			e.coldColumn(int(pi), col, st, &log)
+		}
+		return log
+	}
+
+	logs := make([][]undoCell, len(cols))
+	w := parallel.Workers(c.workers, len(cols))
+	if w == 1 || nAS*len(cols) < serialWorkFloor {
+		for i, pi := range cols {
+			logs[i] = run(pi, c.st)
+		}
+	} else {
+		chunk := convergeChunks(len(cols), w)
+		nChunks := (len(cols) + chunk - 1) / chunk
+		chunkLogs := make([][][]undoCell, nChunks) // each task writes only its own index
+		pool := sync.Pool{New: func() any {
+			return &convState{inQueue: make([]bool, nAS)}
+		}}
+		err := parallel.ForEach(context.Background(), nChunks, w, func(ci int) error {
+			st := pool.Get().(*convState)
+			lo, hi := ci*chunk, (ci+1)*chunk
+			if hi > len(cols) {
+				hi = len(cols)
+			}
+			out := make([][]undoCell, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				out = append(out, run(cols[i], st))
+			}
+			chunkLogs[ci] = out
+			pool.Put(st)
+			return nil
+		})
+		if err != nil {
+			panic(err) // only worker panics can land here; re-raise
+		}
+		for ci, outs := range chunkLogs {
+			copy(logs[ci*chunk:], outs)
+		}
+	}
+	for i, pi := range cols {
+		if len(logs[i]) > 0 {
+			p.cols = append(p.cols, patchCol{p: pi, log: logs[i]})
+		}
+	}
+}
+
+// insertSorted adds v to a sorted int32 slice, keeping it sorted; duplicate
+// inserts are impossible (applyDelta rejects duplicate originations).
+func insertSorted(s []int32, v int32) []int32 {
+	at := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[at+1:], s[at:])
+	s[at] = v
+	return s
+}
+
+// removeSorted deletes v from a sorted int32 slice (v is present).
+func removeSorted(s []int32, v int32) []int32 {
+	at := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return append(s[:at], s[at+1:]...)
+}
