@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet lint test test-race prop fuzz-smoke bench bench-json bench-gate bench-serve serve-smoke report examples clean
+.PHONY: all check build vet lint lint-fix-check test test-race prop fuzz-smoke bench bench-json bench-gate bench-serve serve-smoke report examples clean
 
 all: build vet lint test test-race report serve-smoke
 
@@ -16,12 +16,23 @@ vet:
 	$(GO) vet ./...
 
 # Run the repo's determinism linters (internal/analysis via cmd/humnetlint):
-# rangemap, wildrand, errdrop, paraccum. Exits nonzero on findings. Use
+# rangemap, wildrand, errdrop, paraccum plus the interprocedural aliasret,
+# ctxflow, atomicmix, undoscope. Exits nonzero on findings; packages are
+# analyzed in parallel (output is byte-identical for any worker count). Use
 # `go run ./cmd/humnetlint -json` for machine-readable output (CI
 # annotation) and //humnet:allow <rule> -- <reason> for documented
-# exceptions; see DESIGN.md "Determinism invariants".
+# exceptions; see DESIGN.md "Determinism invariants" and §9.
 lint:
-	$(GO) run ./cmd/humnetlint
+	$(GO) run ./cmd/humnetlint -workers 0
+
+# Apply the linters' suggested fixes (aliasret copy-on-return, ctxflow
+# context forwarding) in place, then verify a second pass edits nothing:
+# fixes must be idempotent. CI runs this in a scratch worktree.
+lint-fix-check:
+	$(GO) run ./cmd/humnetlint -fix
+	$(GO) run ./cmd/humnetlint -fix 2>&1 | grep -q "applied 0 fix edit(s) in 0 file(s)"
+	$(GO) build ./...
+	$(GO) test ./...
 
 test:
 	$(GO) test ./...

@@ -3,15 +3,24 @@
 //
 // Usage:
 //
-//	humnetlint [-C dir] [-json] [-rules rangemap,wildrand,...] [pkgdir ...]
+//	humnetlint [-C dir] [-json] [-rules rangemap,wildrand,...]
+//	           [-workers N] [-fix] [-tests] [-cache dir] [pkgdir ...]
 //
 // With no arguments it lints the whole module rooted at -C (default ".").
 // Positional arguments restrict reporting to the given module-relative
 // package directories (everything is still loaded, since analyzers need
 // whole-program type information).
 //
-// Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
-// load errors. -json emits {"findings":[{file,line,col,rule,message}...],
+// -workers fans the analyzers out across packages (0 = GOMAXPROCS); output
+// is byte-identical for every worker count. -cache reuses per-package
+// interprocedural summaries content-addressed by file hash. -tests loads
+// in-package _test.go files so test-only accesses are visible to atomicmix.
+// -fix applies the suggested fixes (aliasret copy-on-return, ctxflow context
+// threading) in place; fixes are idempotent — a second run edits nothing.
+//
+// Exit status: 0 when clean, 1 when findings were reported (with -fix: when
+// findings remain that no fix could repair), 2 on usage or load errors.
+// -json emits {"findings":[{file,line,col,rule,message,fix?}...],
 // "suppressed":N} on stdout for CI annotation.
 package main
 
@@ -45,6 +54,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
 	rules := fs.String("rules", "", "comma-separated rule subset (default: all)")
 	list := fs.Bool("list", false, "print the rule names and docs, then exit")
+	workers := fs.Int("workers", 1, "packages analyzed concurrently (0 = GOMAXPROCS)")
+	fix := fs.Bool("fix", false, "apply suggested fixes in place")
+	tests := fs.Bool("tests", false, "include in-package _test.go files")
+	cacheDir := fs.String("cache", "", "directory for the content-addressed summary cache")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -72,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	loader, err := analysis.NewLoader(*dir)
+	loader, err := analysis.NewLoaderOpts(*dir, analysis.LoadOpts{IncludeTests: *tests})
 	if err != nil {
 		emitf(stderr, "humnetlint: %v\n", err)
 		return 2
@@ -92,7 +105,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pkgs = kept
 	}
 
-	res := analysis.Run(loader.Fset, pkgs, analyzers)
+	var cache *analysis.FactCache
+	if *cacheDir != "" {
+		cache, err = analysis.OpenFactCache(*cacheDir)
+		if err != nil {
+			emitf(stderr, "humnetlint: %v\n", err)
+			return 2
+		}
+	}
+
+	res := analysis.RunOpts(loader.Fset, pkgs, analyzers, analysis.Options{
+		Workers: *workers,
+		Cache:   cache,
+	})
+
+	if *fix {
+		edits, files, ferr := analysis.ApplyFixes(res.Findings)
+		if ferr != nil {
+			emitf(stderr, "humnetlint: %v\n", ferr)
+			return 2
+		}
+		emitf(stderr, "humnetlint: applied %d fix edit(s) in %d file(s)\n", edits, files)
+		// Surviving findings are the unfixable ones; the fixed instances
+		// vanish on the next (idempotence-checked) run.
+		var remaining []analysis.Finding
+		for _, f := range res.Findings {
+			if f.Fix == nil {
+				remaining = append(remaining, f)
+			}
+		}
+		res.Findings = remaining
+	}
+
 	relativize(&res, loader.Root)
 
 	if *jsonOut {

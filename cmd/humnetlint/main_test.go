@@ -124,3 +124,147 @@ func TestRuleSubsetSkipsOtherFindings(t *testing.T) {
 		t.Fatalf("exit = %d, want 0 (the seeded violation is rangemap, not errdrop)\nstdout: %s", code, &stdout)
 	}
 }
+
+// seedFixableModule writes a throwaway module with one fixable aliasret
+// violation (exported method returning an unexported slice field) and one
+// fixable ctxflow violation (literal Background passed on while ctx is in
+// scope).
+func seedFixableModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module seeded\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "sim", "sim.go"), `package sim
+
+import "context"
+
+type store struct {
+	items []int
+}
+
+func (s *store) Items() []int {
+	return s.items
+}
+
+func waitCtx(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func Wait(ctx context.Context) error {
+	return waitCtx(context.Background())
+}
+`)
+	return dir
+}
+
+func TestWorkersOutputByteIdentical(t *testing.T) {
+	dir := seedFixableModule(t)
+	outputs := make(map[string][]byte)
+	for _, workers := range []string{"1", "4", "0"} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-C", dir, "-json", "-workers", workers}, &stdout, &stderr); code != 1 {
+			t.Fatalf("-workers %s: exit = %d, want 1\nstderr: %s", workers, code, &stderr)
+		}
+		outputs[workers] = stdout.Bytes()
+	}
+	if !bytes.Equal(outputs["1"], outputs["4"]) || !bytes.Equal(outputs["1"], outputs["0"]) {
+		t.Errorf("JSON output differs across -workers 1/4/0:\n-1-\n%s\n-4-\n%s\n-0-\n%s",
+			outputs["1"], outputs["4"], outputs["0"])
+	}
+}
+
+func TestFixAppliesAndIsIdempotent(t *testing.T) {
+	dir := seedFixableModule(t)
+	src := filepath.Join(dir, "internal", "sim", "sim.go")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-fix"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("first -fix: exit = %d, want 0 (all seeded findings are fixable)\nstdout: %s\nstderr: %s",
+			code, &stdout, &stderr)
+	}
+	fixed, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "append(s.items[:0:0], s.items...)") {
+		t.Errorf("aliasret fix not applied:\n%s", fixed)
+	}
+	if !strings.Contains(string(fixed), "waitCtx(ctx)") {
+		t.Errorf("ctxflow fix not applied:\n%s", fixed)
+	}
+
+	// The fixed module is clean.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("post-fix lint: exit = %d, want 0\nstdout: %s", code, &stdout)
+	}
+
+	// A second -fix run edits nothing.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-fix"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("second -fix: exit = %d, want 0\nstderr: %s", code, &stderr)
+	}
+	refixed, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fixed, refixed) {
+		t.Errorf("-fix is not idempotent:\n--- first ---\n%s\n--- second ---\n%s", fixed, refixed)
+	}
+}
+
+func TestWarmCacheOutputIdentical(t *testing.T) {
+	dir := seedFixableModule(t)
+	cache := filepath.Join(t.TempDir(), "factcache")
+
+	var cold, warm, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-json", "-cache", cache}, &cold, &stderr); code != 1 {
+		t.Fatalf("cold run: exit = %d, want 1\nstderr: %s", code, &stderr)
+	}
+	entries, err := os.ReadDir(cache)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cold run left no cache entries (err %v)", err)
+	}
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-json", "-cache", cache}, &warm, &stderr); code != 1 {
+		t.Fatalf("warm run: exit = %d, want 1\nstderr: %s", code, &stderr)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Errorf("warm cache output differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", &cold, &warm)
+	}
+}
+
+func TestTestsFlagRevealsTestOnlyAccess(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module seeded\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "sim", "sim.go"), `package sim
+
+import "sync/atomic"
+
+var hits int64
+
+func CountHit() {
+	atomic.AddInt64(&hits, 1)
+}
+`)
+	writeFile(t, filepath.Join(dir, "internal", "sim", "sim_test.go"), `package sim
+
+func assertHits(want int64) bool {
+	return hits == want
+}
+`)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("without -tests: exit = %d, want 0 (the racy access lives in a test file)\nstdout: %s", code, &stdout)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-tests"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("with -tests: exit = %d, want 1\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "atomicmix") {
+		t.Errorf("finding does not mention atomicmix:\n%s", &stdout)
+	}
+}

@@ -16,6 +16,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -23,15 +24,19 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"repro/internal/parallel"
 )
 
-// Finding is one rule violation at a source position.
+// Finding is one rule violation at a source position. Fix, when present, is
+// a machine-applicable remedy (see fix.go for the safety rules).
 type Finding struct {
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Rule    string `json:"rule"`
-	Message string `json:"message"`
+	File    string        `json:"file"`
+	Line    int           `json:"line"`
+	Col     int           `json:"col"`
+	Rule    string        `json:"rule"`
+	Message string        `json:"message"`
+	Fix     *SuggestedFix `json:"fix,omitempty"`
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -46,23 +51,35 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of one package. Facts holds the
+// module-wide interprocedural summaries (nil when the driver ran without
+// them; the interprocedural rules then stay quiet or degrade to their
+// intraprocedural half).
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
-	report   func(pos token.Pos, msg string)
+	Facts    *Facts
+	report   func(pos token.Pos, msg string, fix *SuggestedFix)
 }
 
 // Reportf records a finding at pos. Suppressed findings are counted but not
 // returned.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
-	p.report(pos, fmt.Sprintf(format, args...))
+	p.report(pos, fmt.Sprintf(format, args...), nil)
 }
 
-// All returns every analyzer in the suite, in stable order.
+// ReportFixf records a finding carrying a suggested fix (which may be nil
+// when no safe rewrite exists for this instance).
+func (p *Pass) ReportFixf(pos token.Pos, fix *SuggestedFix, format string, args ...interface{}) {
+	p.report(pos, fmt.Sprintf(format, args...), fix)
+}
+
+// All returns every analyzer in the suite, in stable order: the four
+// AST-local rules from PR 3, then the four interprocedural rules built on
+// the summary substrate.
 func All() []*Analyzer {
-	return []*Analyzer{RangeMap, WildRand, ErrDrop, ParAccum}
+	return []*Analyzer{RangeMap, WildRand, ErrDrop, ParAccum, AliasRet, CtxFlow, AtomicMix, UndoScope}
 }
 
 // Result is the outcome of running analyzers over packages.
@@ -138,31 +155,78 @@ func collectSuppressions(fset *token.FileSet, pkg *Package, known map[string]boo
 	return idx
 }
 
-// Run executes the analyzers over the packages, applies suppression
-// comments, and returns the surviving findings sorted by position.
+// Options configures a driver run.
+type Options struct {
+	// Workers bounds the fan-out across packages (and across packages during
+	// fact building). <= 0 means GOMAXPROCS; 1 runs serially. Findings are
+	// bit-identical for every value: each package's findings land at its
+	// index and the merged list is fully sorted.
+	Workers int
+	// Facts supplies precomputed interprocedural summaries; nil builds them
+	// from the packages (through Cache when set).
+	Facts *Facts
+	// Cache, when set and Facts is nil, serves per-package summaries
+	// content-addressed by file hash instead of recomputing them.
+	Cache *FactCache
+}
+
+// Run executes the analyzers over the packages serially with freshly built
+// facts — the PR 3 entry point, kept for tests and simple callers.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) Result {
-	var res Result
+	return RunOpts(fset, pkgs, analyzers, Options{Workers: 1})
+}
+
+// RunOpts executes the analyzers over the packages, applies suppression
+// comments, and returns the surviving findings sorted by position. Packages
+// are analyzed on at most opt.Workers goroutines; the result is
+// bit-identical for any worker count.
+func RunOpts(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, opt Options) Result {
+	facts := opt.Facts
+	if facts == nil {
+		perPkg, err := parallel.Map(context.Background(), len(pkgs), opt.Workers, func(i int) ([]Summary, error) {
+			return CachedPackageSummaries(opt.Cache, pkgs[i]), nil
+		})
+		if err != nil {
+			panic(err) // summary building never errors; only task panics arrive here
+		}
+		facts = MergeFacts(perPkg)
+	}
 	known := knownRules(analyzers)
-	for _, pkg := range pkgs {
+	type pkgResult struct {
+		findings   []Finding
+		suppressed int
+	}
+	outs, err := parallel.Map(context.Background(), len(pkgs), opt.Workers, func(i int) (pkgResult, error) {
+		var pr pkgResult
+		pkg := pkgs[i]
 		sup := collectSuppressions(fset, pkg, known, func(f Finding) {
-			res.Findings = append(res.Findings, f)
+			pr.findings = append(pr.findings, f)
 		})
 		for _, an := range analyzers {
-			pass := &Pass{Analyzer: an, Fset: fset, Pkg: pkg}
-			pass.report = func(pos token.Pos, msg string) {
+			pass := &Pass{Analyzer: an, Fset: fset, Pkg: pkg, Facts: facts}
+			pass.report = func(pos token.Pos, msg string, fix *SuggestedFix) {
 				p := fset.Position(pos)
 				if sup[suppressKey{p.Filename, p.Line, an.Name}] ||
 					sup[suppressKey{p.Filename, p.Line - 1, an.Name}] {
-					res.Suppressed++
+					pr.suppressed++
 					return
 				}
-				res.Findings = append(res.Findings, Finding{
+				pr.findings = append(pr.findings, Finding{
 					File: p.Filename, Line: p.Line, Col: p.Column,
-					Rule: an.Name, Message: msg,
+					Rule: an.Name, Message: msg, Fix: fix,
 				})
 			}
 			an.Run(pass)
 		}
+		return pr, nil
+	})
+	if err != nil {
+		panic(err) // analyzers never return errors; only task panics arrive here
+	}
+	var res Result
+	for _, pr := range outs {
+		res.Findings = append(res.Findings, pr.findings...)
+		res.Suppressed += pr.suppressed
 	}
 	sort.Slice(res.Findings, func(i, j int) bool {
 		a, b := res.Findings[i], res.Findings[j]

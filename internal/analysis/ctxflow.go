@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces context propagation in functions that hold one: a
+// function with a context.Context parameter (or an *http.Request, whose
+// Context carries the request lifetime) must not
+//
+//  1. pass a literal context.Background()/context.TODO() to a
+//     context-taking callee — the caller's deadline and cancellation are
+//     silently dropped at that call (fixable: forward the in-scope
+//     context);
+//  2. call a module-internal callee that takes no context but, per the
+//     interprocedural summaries, transitively blocks on
+//     context.Background() inside — the cancellation gap is hidden one or
+//     more frames down (not auto-fixable: the callee needs a context
+//     parameter threaded through);
+//  3. spawn a goroutine that neither receives nor captures the context yet
+//     runs such ambient-blocking work — it outlives the request
+//     unconditionally.
+//
+// The serve layer's admission and coalescing paths are the motivating
+// targets: a dropped context there turns graceful shedding into unbounded
+// queueing.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context-holding functions must forward their context to cancellable callees and goroutines",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			srcObj, srcExpr := ctxSource(pass, fd)
+			if srcObj == nil {
+				continue
+			}
+			checkCtxFlow(pass, fd, srcObj, srcExpr)
+		}
+	}
+}
+
+// ctxSource returns the object holding fd's context — the first named
+// context.Context parameter, else the first named *http.Request parameter —
+// plus the source expression a fix should forward ("ctx" or "r.Context()").
+// Blank-named parameters cannot be referenced and yield no source.
+func ctxSource(pass *Pass, fd *ast.FuncDecl) (types.Object, string) {
+	var reqObj types.Object
+	var reqName string
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.Pkg.Info.ObjectOf(name)
+			if obj == nil {
+				continue
+			}
+			if isContextType(obj.Type()) {
+				return obj, name.Name
+			}
+			if reqObj == nil && isHTTPRequestPtr(obj.Type()) {
+				reqObj, reqName = obj, name.Name
+			}
+		}
+	}
+	if reqObj != nil {
+		return reqObj, reqName + ".Context()"
+	}
+	return nil, ""
+}
+
+func checkCtxFlow(pass *Pass, fd *ast.FuncDecl, srcObj types.Object, srcExpr string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.GoStmt:
+			// Goroutine launches are wholly rule 3's domain: descending
+			// further would re-flag the same gap per call site inside the
+			// spawned work.
+			checkGoStmt(pass, t, srcObj)
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, t, srcObj, srcExpr)
+		}
+		return true
+	})
+}
+
+// checkCall applies rules 1 and 2 to one call site.
+func checkCall(pass *Pass, call *ast.CallExpr, srcObj types.Object, srcExpr string) {
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	if k := ctxParamIndex(sig); k >= 0 {
+		if k < len(call.Args) && isAmbientCtxCall(pass.Pkg, call.Args[k]) {
+			arg := call.Args[k]
+			fix := &SuggestedFix{
+				Message: "forward " + srcExpr,
+				Edits: []TextEdit{{
+					Start: pass.offsetOf(arg.Pos()),
+					End:   pass.offsetOf(arg.End()),
+					New:   srcExpr,
+				}},
+			}
+			pass.ReportFixf(arg.Pos(), fix,
+				"%s passed to %s while %s is in scope; the caller's cancellation and deadline are dropped here",
+				exprString(arg), exprString(call.Fun), srcExpr)
+		}
+		return // the callee takes a context: threading is the caller's choice per-arg
+	}
+	// Rule 2: context-less module callee that blocks ambiently inside.
+	callee := calleeOf(pass.Pkg, call)
+	if callee == nil || !moduleInternal(pass, callee) || takesRequest(callee) {
+		return
+	}
+	id := FuncID(callee)
+	if pass.Facts.AmbientBlocker(id) {
+		pass.Reportf(call.Pos(),
+			"%s blocks on context.Background() internally but takes no context; thread %s through (add a ctx parameter or a Ctx variant)",
+			exprString(call.Fun), srcExpr)
+	}
+}
+
+// checkGoStmt applies rule 3 to one goroutine launch.
+func checkGoStmt(pass *Pass, g *ast.GoStmt, srcObj types.Object) {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if mentionsObject(pass.Pkg, fun.Body, srcObj) {
+			return // the closure captured the context deliberately
+		}
+		if funcLitTakesCtx(pass, fun) {
+			return
+		}
+		if litCallsAmbient(pass, fun) {
+			pass.Reportf(g.Pos(),
+				"goroutine neither receives nor captures the function's context but runs ambient-blocking work; it outlives the request")
+		}
+	default:
+		callee := calleeOf(pass.Pkg, g.Call)
+		if callee == nil || !moduleInternal(pass, callee) || takesRequest(callee) {
+			return
+		}
+		if sig, ok := callee.Type().(*types.Signature); ok && ctxParamIndex(sig) >= 0 {
+			return // context flows (or rule 1 already flagged a Background arg)
+		}
+		if pass.Facts.AmbientBlocker(FuncID(callee)) {
+			pass.Reportf(g.Pos(),
+				"goroutine calls %s, which blocks on context.Background() internally, without the function's context; it outlives the request",
+				exprString(g.Call.Fun))
+		}
+	}
+}
+
+// funcLitTakesCtx reports whether the literal declares its own context
+// parameter.
+func funcLitTakesCtx(pass *Pass, lit *ast.FuncLit) bool {
+	sig, ok := pass.Pkg.Info.TypeOf(lit).(*types.Signature)
+	return ok && ctxParamIndex(sig) >= 0
+}
+
+// litCallsAmbient reports whether the literal's body calls a module-internal
+// ambient blocker without a context of its own.
+func litCallsAmbient(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		callee := calleeOf(pass.Pkg, call)
+		if callee != nil && moduleInternal(pass, callee) {
+			if sig, isSig := callee.Type().(*types.Signature); isSig && ctxParamIndex(sig) < 0 {
+				if pass.Facts.AmbientBlocker(FuncID(callee)) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callSignature returns the signature of whatever the call invokes, static
+// or through a value; nil for conversions and builtins.
+func callSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	t := pass.Pkg.Info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// moduleInternal reports whether fn is declared inside this module (coarse
+// leading-segment test, matching the summary builder's call edges).
+func moduleInternal(pass *Pass, fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	cp := fn.Pkg().Path()
+	return cp == pass.Pkg.Path || strings.HasPrefix(cp, moduleRootOf(pass.Pkg.Path)+"/")
+}
+
+// takesRequest reports whether fn's signature carries an *http.Request — a
+// context source of its own.
+func takesRequest(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isHTTPRequestPtr(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// factSchemaVersion versions both the Summary JSON shape and the key
+// derivation. Bump it whenever a Summary field changes meaning, so stale
+// entries miss instead of decoding into the wrong facts.
+const factSchemaVersion = 1
+
+// writeFactField appends one length-prefixed key ingredient — the same
+// injective encoding internal/experiment's cache key uses: the prefix makes
+// field boundaries part of the encoding, so no ingredient can alias a
+// neighbouring one.
+func writeFactField(b *strings.Builder, s string) {
+	b.WriteString(strconv.Itoa(len(s)))
+	b.WriteByte(':')
+	b.WriteString(s)
+	b.WriteByte('\n')
+}
+
+// FactKey is the content address of one package's summaries:
+// hash(schema version, import path, per source file: base name + content
+// hash). Summaries are a pure function of the package's source, so equal
+// keys — and only equal keys — may share cached facts. Import-path changes
+// and file renames change the key even when contents do not.
+func FactKey(pkg *Package) (string, error) {
+	var b strings.Builder
+	writeFactField(&b, "v"+strconv.Itoa(factSchemaVersion))
+	writeFactField(&b, pkg.Path)
+	for _, fname := range pkg.Filenames {
+		data, err := os.ReadFile(fname)
+		if err != nil {
+			return "", fmt.Errorf("analysis: fact key for %s: %w", pkg.Path, err)
+		}
+		sum := sha256.Sum256(data)
+		writeFactField(&b, filepath.Base(fname))
+		writeFactField(&b, hex.EncodeToString(sum[:]))
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// factEntry is the on-disk encoding of one package's cached summaries. Path
+// is stored redundantly and verified on Get, mirroring the experiment
+// cache's ID check: a renamed or hand-edited entry misses instead of serving
+// one package facts computed for another.
+type factEntry struct {
+	Version   int       `json:"version"`
+	Path      string    `json:"path"`
+	Summaries []Summary `json:"summaries"`
+}
+
+// FactCache is a content-addressed on-disk store of per-package summaries:
+// one JSON file per key. Writes are atomic (temp file + rename); unreadable
+// or corrupt entries are treated as misses and overwritten by the next Put.
+type FactCache struct {
+	dir string
+}
+
+// OpenFactCache creates dir if needed and returns a cache rooted there.
+func OpenFactCache(dir string) (*FactCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("analysis: empty fact cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("analysis: open fact cache: %w", err)
+	}
+	return &FactCache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *FactCache) Dir() string { return c.dir }
+
+// path maps a key to its entry file.
+func (c *FactCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get loads the summaries stored under key, verifying schema version and
+// import path. Any failure is a miss.
+func (c *FactCache) Get(key, wantPath string) ([]Summary, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e factEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Version != factSchemaVersion || e.Path != wantPath {
+		return nil, false
+	}
+	return e.Summaries, true
+}
+
+// Put stores a package's summaries under key atomically.
+func (c *FactCache) Put(key string, pkgPath string, sums []Summary) error {
+	data, err := json.Marshal(factEntry{Version: factSchemaVersion, Path: pkgPath, Summaries: sums})
+	if err != nil {
+		return fmt.Errorf("analysis: encode fact entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("analysis: fact cache put: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("analysis: fact cache put: %w", werr)
+		}
+		return fmt.Errorf("analysis: fact cache put: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("analysis: fact cache put: %w", err)
+	}
+	return nil
+}
+
+// CachedPackageSummaries returns pkg's summaries through the cache: a hit
+// returns the stored facts; a miss computes, stores (best effort — a failed
+// Put degrades to cold behaviour), and returns them.
+func CachedPackageSummaries(cache *FactCache, pkg *Package) []Summary {
+	if cache == nil {
+		return PackageSummaries(pkg)
+	}
+	key, err := FactKey(pkg)
+	if err != nil {
+		return PackageSummaries(pkg)
+	}
+	if sums, ok := cache.Get(key, pkg.Path); ok {
+		return sums
+	}
+	sums := PackageSummaries(pkg)
+	// A failed Put degrades to cold analysis on the next run, never to wrong
+	// facts, so the error is deliberately not fatal.
+	_ = cache.Put(key, pkg.Path, sums)
+	return sums
+}

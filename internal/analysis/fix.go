@@ -1,0 +1,111 @@
+package analysis
+
+// Suggested fixes. A fix is a set of byte-offset text edits confined to the
+// finding's own file. Safety rules (see DESIGN.md §9): a fix must be
+// semantics-preserving for the non-aliased reading of the code, must not
+// require new imports, and must be idempotent — re-running the analyzers
+// over fixed source produces no finding and therefore no further edit.
+// aliasret's copy-on-return rewrites `return E` to
+// `return append(E[:0:0], E...)` (the zero-capacity reslice forces a fresh
+// backing array and is itself recognised as fresh by the analyzer);
+// ctxflow's context threading replaces a literal context.Background()/TODO()
+// argument with the in-scope context expression. Everything subtler is
+// reported without a fix.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// TextEdit replaces the half-open byte range [Start, End) of the finding's
+// file with New.
+type TextEdit struct {
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	New   string `json:"new"`
+}
+
+// SuggestedFix is an optional machine-applicable remedy attached to a
+// Finding. All edits apply to the finding's File.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// ApplyFixes applies every suggested fix in findings to the files on disk.
+// Edits are grouped per file, sorted by offset, and applied back-to-front so
+// earlier offsets stay valid; when two edits overlap, the one starting
+// earlier wins and the other is skipped (deterministically, since findings
+// arrive position-sorted). Returns the number of edits applied and the
+// files rewritten.
+func ApplyFixes(findings []Finding) (edits, files int, err error) {
+	type fileEdit struct {
+		TextEdit
+		order int
+	}
+	byFile := make(map[string][]fileEdit)
+	order := 0
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		for _, e := range f.Fix.Edits {
+			byFile[f.File] = append(byFile[f.File], fileEdit{e, order})
+			order++
+		}
+	}
+	paths := make([]string, 0, len(byFile))
+	for p := range byFile {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		es := byFile[path]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].Start != es[j].Start {
+				return es[i].Start < es[j].Start
+			}
+			return es[i].order < es[j].order
+		})
+		// Drop overlapping or out-of-order edits: keep the first of any
+		// overlapping pair.
+		kept := es[:1]
+		for _, e := range es[1:] {
+			if e.Start < kept[len(kept)-1].End {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return edits, files, fmt.Errorf("analysis: apply fixes: %w", rerr)
+		}
+		out := make([]byte, 0, len(data))
+		prev := 0
+		ok := true
+		for _, e := range kept {
+			if e.Start < prev || e.End > len(data) || e.Start > e.End {
+				ok = false
+				break
+			}
+			out = append(out, data[prev:e.Start]...)
+			out = append(out, e.New...)
+			prev = e.End
+		}
+		if !ok {
+			return edits, files, fmt.Errorf("analysis: apply fixes: stale edit offsets in %s", path)
+		}
+		out = append(out, data[prev:]...)
+		mode := os.FileMode(0o644)
+		if st, serr := os.Stat(path); serr == nil {
+			mode = st.Mode().Perm()
+		}
+		if werr := os.WriteFile(path, out, mode); werr != nil {
+			return edits, files, fmt.Errorf("analysis: apply fixes: %w", werr)
+		}
+		edits += len(kept)
+		files++
+	}
+	return edits, files, nil
+}

@@ -36,13 +36,21 @@ func moduleRoot(t *testing.T) string {
 // finding must be expected.
 func runFixture(t *testing.T, an *Analyzer) {
 	t.Helper()
+	runFixtureOpts(t, an, an.Name, LoadOpts{})
+}
+
+// runFixtureOpts is runFixture with the fixture directory and loader options
+// explicit, for analyzers that need a fixture-scoped configuration
+// (undoscope) or in-package test files (atomicmix with IncludeTests).
+func runFixtureOpts(t *testing.T, an *Analyzer, fixture string, opts LoadOpts) {
+	t.Helper()
 	root := moduleRoot(t)
-	l, err := NewLoader(root)
+	l, err := NewLoaderOpts(root, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dir := filepath.Join(root, "internal", "analysis", "testdata", "src", an.Name)
-	path := "repro/internal/" + an.Name + "fix"
+	dir := filepath.Join(root, "internal", "analysis", "testdata", "src", fixture)
+	path := "repro/internal/" + fixture + "fix"
 	l.AddDir(path, dir)
 	pkg, err := l.Load(path)
 	if err != nil {
@@ -104,3 +112,21 @@ func TestRangeMapFixtures(t *testing.T) { runFixture(t, RangeMap) }
 func TestWildRandFixtures(t *testing.T) { runFixture(t, WildRand) }
 func TestErrDropFixtures(t *testing.T)  { runFixture(t, ErrDrop) }
 func TestParAccumFixtures(t *testing.T) { runFixture(t, ParAccum) }
+func TestAliasRetFixtures(t *testing.T) { runFixture(t, AliasRet) }
+func TestCtxFlowFixtures(t *testing.T)  { runFixture(t, CtxFlow) }
+
+// TestAtomicMixFixtures loads the fixture with in-package test files so the
+// plain access in plain_test.go is visible (the -tests flag path).
+func TestAtomicMixFixtures(t *testing.T) {
+	runFixtureOpts(t, AtomicMix, AtomicMix.Name, LoadOpts{IncludeTests: true})
+}
+
+// TestUndoScopeFixtures scopes the rule to the fixture's miniature state
+// machine instead of the production bgpsim configuration.
+func TestUndoScopeFixtures(t *testing.T) {
+	runFixtureOpts(t, NewUndoScope(UndoScopeConfig{
+		PkgSuffix:  "/internal/undoscopefix",
+		StateTypes: []string{"engine"},
+		Roots:      []string{"Apply", "Revert"},
+	}), "undoscope", LoadOpts{})
+}

@@ -13,16 +13,29 @@ import (
 	"strings"
 )
 
-// Package is one type-checked package of the module under analysis. Only
-// non-test files are loaded: the determinism invariants guard production
-// code paths, and test-only helpers are free to trade hermeticity for
-// convenience.
+// Package is one type-checked package of the module under analysis. By
+// default only non-test files are loaded: the determinism invariants guard
+// production code paths, and test-only helpers are free to trade hermeticity
+// for convenience. LoadOpts.IncludeTests pulls in-package _test.go files
+// into the same unit (external foo_test packages are still dropped — they
+// are a different package and would collide), so rules like atomicmix can
+// see test-only plain reads of production state.
 type Package struct {
-	Path  string // import path, e.g. "repro/internal/bgpsim"
-	Dir   string // absolute directory the files were read from
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	Path      string   // import path, e.g. "repro/internal/bgpsim"
+	Dir       string   // absolute directory the files were read from
+	Filenames []string // absolute source file paths, sorted (fact-cache key input)
+	Files     []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// LoadOpts configures package discovery.
+type LoadOpts struct {
+	// IncludeTests loads in-package _test.go files alongside production
+	// files (external *_test packages are skipped). Off by default: the
+	// linters guard production paths, and mixed cmd/ packages would
+	// otherwise drag test-only dependencies into every run.
+	IncludeTests bool
 }
 
 // Loader discovers, parses, and type-checks every package of a Go module
@@ -39,6 +52,7 @@ type Loader struct {
 	pkgs     map[string]*Package
 	checking map[string]bool
 	std      types.Importer
+	opts     LoadOpts
 }
 
 // NewLoader scans the module rooted at root (the directory containing
@@ -47,6 +61,11 @@ type Loader struct {
 // and dot/underscore directories are skipped, so analyzer fixtures do not
 // count as module packages.
 func NewLoader(root string) (*Loader, error) {
+	return NewLoaderOpts(root, LoadOpts{})
+}
+
+// NewLoaderOpts is NewLoader with explicit discovery options.
+func NewLoaderOpts(root string, opts LoadOpts) (*Loader, error) {
 	abs, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -64,6 +83,7 @@ func NewLoader(root string) (*Loader, error) {
 		pkgs:     make(map[string]*Package),
 		checking: make(map[string]bool),
 		std:      importer.ForCompiler(fset, "source", nil),
+		opts:     opts,
 	}
 	err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -77,7 +97,9 @@ func NewLoader(root string) (*Loader, error) {
 			name == "testdata" || name == "vendor") {
 			return filepath.SkipDir
 		}
-		if len(goFiles(path)) == 0 {
+		// Discovery keys off non-test files: a directory holding only tests
+		// is not a production package even when IncludeTests is set.
+		if len(goFiles(path, false)) == 0 {
 			return nil
 		}
 		rel, err := filepath.Rel(abs, path)
@@ -112,8 +134,9 @@ func readModulePath(gomod string) (string, error) {
 	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
 }
 
-// goFiles returns the sorted non-test .go file paths in dir.
-func goFiles(dir string) []string {
+// goFiles returns the sorted .go file paths in dir; _test.go files only when
+// includeTests is set.
+func goFiles(dir string, includeTests bool) []string {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil
@@ -121,8 +144,10 @@ func goFiles(dir string) []string {
 	var out []string
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
 			continue
 		}
 		out = append(out, filepath.Join(dir, name))
@@ -166,12 +191,17 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	defer delete(l.checking, importPath)
 
 	var files []*ast.File
-	for _, fname := range goFiles(dir) {
+	var filenames []string
+	for _, fname := range goFiles(dir, l.opts.IncludeTests) {
 		f, err := parser.ParseFile(l.Fset, fname, nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
+		filenames = append(filenames, fname)
+	}
+	if l.opts.IncludeTests {
+		files, filenames = dropExternalTestFiles(files, filenames)
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
@@ -189,9 +219,37 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
 	}
-	p := &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	p := &Package{Path: importPath, Dir: dir, Filenames: filenames, Files: files, Types: tpkg, Info: info}
 	l.pkgs[importPath] = p
 	return p, nil
+}
+
+// dropExternalTestFiles removes files belonging to an external *_test
+// package: they declare a different package name and cannot be type-checked
+// in the same unit. The production package name is taken from the first
+// file whose name does not end in "_test"; when only external test files
+// exist the directory keeps them (it was only discoverable via AddDir).
+func dropExternalTestFiles(files []*ast.File, filenames []string) ([]*ast.File, []string) {
+	prodName := ""
+	for _, f := range files {
+		if !strings.HasSuffix(f.Name.Name, "_test") {
+			prodName = f.Name.Name
+			break
+		}
+	}
+	if prodName == "" {
+		return files, filenames
+	}
+	var outF []*ast.File
+	var outN []string
+	for i, f := range files {
+		if f.Name.Name != prodName {
+			continue
+		}
+		outF = append(outF, f)
+		outN = append(outN, filenames[i])
+	}
+	return outF, outN
 }
 
 // Import implements types.Importer so that a Loader can serve as the

@@ -1,0 +1,38 @@
+// Package aliasretfix exercises the aliasret analyzer.
+package aliasretfix
+
+// store holds unexported mutable state behind an exported API.
+type store struct {
+	items []int
+	index map[string]int
+}
+
+// Items leaks the receiver's backing array: callers can mutate internals.
+func (s *store) Items() []int {
+	return s.items // want "alias of unexported receiver state"
+}
+
+// Index leaks the receiver's map (no fix is suggested for maps, but the
+// finding is still reported).
+func (s *store) Index() map[string]int {
+	return s.index // want "alias of unexported receiver state"
+}
+
+// registry is unexported package-level mutable state.
+var registry = []string{"a", "b"}
+
+// Registry leaks the package variable's backing array.
+func Registry() []string {
+	return registry // want "alias of unexported package state"
+}
+
+// view is the private helper an exported wrapper leaks through.
+func view() []string {
+	return registry
+}
+
+// View aliases unexported state one call level down; the interprocedural
+// summary of view carries the alias to this wrapper.
+func View() []string {
+	return view() // want "aliases unexported mutable state inside view"
+}

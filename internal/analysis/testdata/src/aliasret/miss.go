@@ -1,0 +1,43 @@
+package aliasretfix
+
+// pool has both exported and unexported fields.
+type pool struct {
+	buf []int
+	// Hot is exported: callers already own access to it, so returning it
+	// leaks nothing they could not reach themselves.
+	Hot []int
+}
+
+// Copy returns a fresh backing array; append onto a zero-cap reslice is the
+// canonical copy-on-return and must not be flagged (the fix must be
+// idempotent).
+func (p *pool) Copy() []int {
+	return append(p.buf[:0:0], p.buf...)
+}
+
+// Exported returns an exported field: not hidden state.
+func (p *pool) Exported() []int {
+	return p.Hot
+}
+
+// Fresh returns provably fresh values.
+func Fresh(n int) []int {
+	out := make([]int, n)
+	return out
+}
+
+// Literal returns a composite literal.
+func Literal() []string {
+	return []string{"x"}
+}
+
+// Echo returns the caller's own parameter: the memory was theirs already.
+func Echo(in []int) []int {
+	return in
+}
+
+// internalView is unexported, so callers are package-internal and trusted
+// with aliases.
+func internalView(p *pool) []int {
+	return p.buf
+}

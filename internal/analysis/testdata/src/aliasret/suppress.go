@@ -1,0 +1,12 @@
+package aliasretfix
+
+// graphlike mimics the read-view idiom: a documented no-modify contract.
+type graphlike struct {
+	adj []int
+}
+
+// Adj returns a zero-copy read view; the exception is documented.
+func (g *graphlike) Adj() []int {
+	//humnet:allow aliasret -- fixture: zero-copy read view with a documented no-modify contract
+	return g.adj
+}

@@ -1,0 +1,38 @@
+// Package atomicmixfix exercises the atomicmix analyzer.
+package atomicmixfix
+
+import "sync/atomic"
+
+// counter mixes atomic and plain access to the same field.
+type counter struct {
+	n    int64
+	name string
+}
+
+// Inc is the atomic side of the race.
+func (c *counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Read is the plain side: it races with Inc.
+func (c *counter) Read() int64 {
+	return c.n // want "accessed with sync/atomic elsewhere"
+}
+
+// Reset writes the field plainly, racing with Inc.
+func (c *counter) Reset() {
+	c.n = 0 // want "accessed with sync/atomic elsewhere"
+}
+
+// hits is a package-level variable touched atomically below.
+var hits int64
+
+// CountHit is the atomic side for the package variable.
+func CountHit() {
+	atomic.AddInt64(&hits, 1)
+}
+
+// Hits reads the package variable bare, racing with CountHit.
+func Hits() int64 {
+	return hits // want "accessed with sync/atomic elsewhere"
+}

@@ -1,0 +1,40 @@
+package atomicmixfix
+
+import "sync/atomic"
+
+// gauge is accessed atomically everywhere: consistent, so clean.
+type gauge struct {
+	v int64
+}
+
+// Set stores atomically.
+func (g *gauge) Set(v int64) {
+	atomic.StoreInt64(&g.v, v)
+}
+
+// Get loads atomically.
+func (g *gauge) Get() int64 {
+	return atomic.LoadInt64(&g.v)
+}
+
+// plainOnly is never touched atomically, so plain access is fine.
+type plainOnly struct {
+	n int64
+}
+
+// Bump is single-goroutine arithmetic on a never-atomic field.
+func (p *plainOnly) Bump() {
+	p.n++
+}
+
+// Name reads a non-atomic-operable field of the mixed struct: only the
+// atomic field is protected.
+func (c *counter) Name() string {
+	return c.name
+}
+
+// NewCounter initialises via a composite literal: keys are field names, not
+// accesses, and initialisation precedes sharing.
+func NewCounter(n int64) *counter {
+	return &counter{n: n, name: "fixture"}
+}

@@ -1,0 +1,9 @@
+package atomicmixfix
+
+// assertHits is test-only code that reads the atomically-written package
+// variable plainly: invisible without -tests, racy all the same. (The file
+// deliberately avoids importing "testing" so the fixture loads through the
+// source importer.)
+func assertHits(want int64) bool {
+	return hits == want // want "accessed with sync/atomic elsewhere"
+}

@@ -1,0 +1,8 @@
+package atomicmixfix
+
+// Snapshot reads the counter plainly after all writers have joined; the
+// happens-before edge is documented where the linter cannot see it.
+func (c *counter) Snapshot() int64 {
+	//humnet:allow atomicmix -- fixture: called after Wait(), all writers have joined
+	return c.n
+}

@@ -1,0 +1,57 @@
+// Package ctxflowfix exercises the ctxflow analyzer.
+package ctxflowfix
+
+import "context"
+
+// waitCtx is a context-taking callee; passing it a literal Background drops
+// the caller's cancellation.
+func waitCtx(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// DropDeadline holds a context but passes a fresh Background down (rule 1).
+func DropDeadline(ctx context.Context) error {
+	return waitCtx(context.Background()) // want "passed to waitCtx while ctx is in scope"
+}
+
+// DropTODO does the same with context.TODO.
+func DropTODO(ctx context.Context) error {
+	return waitCtx(context.TODO()) // want "passed to waitCtx while ctx is in scope"
+}
+
+// blockAmbient takes no context but blocks on Background inside: the
+// summaries mark it as an ambient blocker.
+func blockAmbient() error {
+	return waitCtx(context.Background())
+}
+
+// blockTransitive blocks ambiently one more frame down; the fact fixpoint
+// propagates the mark through the call graph.
+func blockTransitive() error {
+	return blockAmbient()
+}
+
+// HiddenGap holds a context but calls a context-less ambient blocker
+// (rule 2): the cancellation gap is hidden one frame down.
+func HiddenGap(ctx context.Context) error {
+	return blockAmbient() // want "blocks on context.Background.. internally but takes no context"
+}
+
+// HiddenGapDeep is the transitive variant of HiddenGap.
+func HiddenGapDeep(ctx context.Context) error {
+	return blockTransitive() // want "blocks on context.Background.. internally but takes no context"
+}
+
+// OrphanGoroutine spawns ambient-blocking work that neither receives nor
+// captures the context (rule 3): it outlives the request.
+func OrphanGoroutine(ctx context.Context) {
+	go blockAmbient() // want "goroutine calls blockAmbient"
+}
+
+// OrphanClosure wraps the same gap in a function literal.
+func OrphanClosure(ctx context.Context) {
+	go func() { // want "goroutine neither receives nor captures"
+		_ = blockAmbient()
+	}()
+}

@@ -1,0 +1,46 @@
+package ctxflowfix
+
+import "context"
+
+// Forward threads its context: the canonical good citizen.
+func Forward(ctx context.Context) error {
+	return waitCtx(ctx)
+}
+
+// NoContext holds no context, so a literal Background is its only honest
+// choice; rule 1 is scoped to context-holding functions.
+func NoContext() error {
+	return waitCtx(context.Background())
+}
+
+// pure takes no context and never blocks: calling it from a context-holding
+// function is fine.
+func pure(n int) int { return n * 2 }
+
+// CallsPure calls a non-blocking context-less helper.
+func CallsPure(ctx context.Context, n int) int {
+	return pure(n)
+}
+
+// CapturedClosure mentions ctx inside the goroutine: the capture is
+// deliberate, so the spawn is clean.
+func CapturedClosure(ctx context.Context) {
+	go func() {
+		_ = waitCtx(ctx)
+	}()
+}
+
+// OwnContext hands the goroutine its own context parameter.
+func OwnContext(ctx context.Context) {
+	go func(c context.Context) {
+		_ = waitCtx(c)
+	}(ctx)
+}
+
+// DerivedOK derives from the in-scope context rather than minting a fresh
+// root; only literal Background/TODO are flagged.
+func DerivedOK(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return waitCtx(sub)
+}

@@ -1,0 +1,10 @@
+package ctxflowfix
+
+import "context"
+
+// Detached documents an intentional lifetime split: audit writes must
+// complete even when the request is cancelled.
+func Detached(ctx context.Context) error {
+	//humnet:allow ctxflow -- fixture: audit write must outlive the request by design
+	return waitCtx(context.Background())
+}

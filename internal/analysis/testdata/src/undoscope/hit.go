@@ -1,0 +1,32 @@
+// Package undoscopefix exercises the undoscope analyzer against a miniature
+// state machine: engine is the protected state, Apply/Revert are the
+// recording roots (see the fixture config in fixtures_test.go).
+package undoscopefix
+
+// engine is the protected state type.
+type engine struct {
+	vals  []int
+	m     map[string]int
+	count int
+}
+
+// Rogue writes protected state but is not reachable from any root: the
+// mutation bypasses undo recording.
+func Rogue(e *engine) {
+	e.vals[0] = 1 // want "mutates engine state outside the undo-recorded path"
+}
+
+// Bump mutates through IncDec.
+func Bump(e *engine) {
+	e.count++ // want "mutates engine state outside the undo-recorded path"
+}
+
+// Drop mutates through the delete builtin.
+func Drop(e *engine, k string) {
+	delete(e.m, k) // want "mutates engine state outside the undo-recorded path"
+}
+
+// Overwrite mutates through the copy builtin.
+func Overwrite(e *engine, src []int) {
+	copy(e.vals, src) // want "mutates engine state outside the undo-recorded path"
+}

@@ -1,0 +1,38 @@
+package undoscopefix
+
+// Apply is a recording root: its writes are undo-logged by construction.
+func Apply(e *engine, v int) {
+	e.vals = append(e.vals, v)
+	record(e, v)
+}
+
+// Revert is the other root.
+func Revert(e *engine) {
+	e.count = 0
+}
+
+// record is reachable from Apply over the static call graph, so its writes
+// ride the recording path.
+func record(e *engine, v int) {
+	e.count++
+	e.m["last"] = v
+}
+
+// scratch is unprotected: writes to it are free anywhere.
+type scratch struct {
+	tmp []int
+}
+
+// Reset writes only unprotected state.
+func Reset(s *scratch) {
+	s.tmp = s.tmp[:0]
+}
+
+// Rebind only writes bare locals: rebinds are not shared-state mutation.
+func Rebind(e *engine) int {
+	total := 0
+	for _, v := range e.vals {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,8 @@
+package undoscopefix
+
+// Seed initialises a fresh engine before any undo log exists; the write is
+// outside the recording path by design.
+func Seed(e *engine) {
+	//humnet:allow undoscope -- fixture: pre-log initialisation of a freshly built engine
+	e.count = 42
+}

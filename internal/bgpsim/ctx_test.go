@@ -1,0 +1,75 @@
+package bgpsim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestSweepCtxMatchesWorkers pins the ctxflow remediation: the Ctx sweep
+// variants with a Background context return exactly the rows the Workers
+// entry points do.
+func TestSweepCtxMatchesWorkers(t *testing.T) {
+	wantLeak, err := RunLeakSweepWorkers(8, 20, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLeak, err := RunLeakSweepCtx(context.Background(), 8, 20, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotLeak, wantLeak) {
+		t.Errorf("leak rows differ between Ctx(Background) and Workers")
+	}
+
+	wantHijack, err := RunHijackSweepWorkers(8, 20, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHijack, err := RunHijackSweepCtx(context.Background(), 8, 20, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotHijack, wantHijack) {
+		t.Errorf("hijack rows differ between Ctx(Background) and Workers")
+	}
+}
+
+// TestSweepCtxCancelled checks the sweeps stop between events and surface
+// ctx.Err() rather than returning partial rows.
+func TestSweepCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if rows, err := RunLeakSweepCtx(ctx, 8, 20, 5, 1); err == nil {
+		t.Errorf("RunLeakSweepCtx on a cancelled context returned %d rows, want error", len(rows))
+	}
+	if rows, err := RunHijackSweepCtx(ctx, 8, 20, 5, 1); err == nil {
+		t.Errorf("RunHijackSweepCtx on a cancelled context returned %d rows, want error", len(rows))
+	}
+}
+
+// TestConvergeCtxMatchesWorkers pins Topology.ConvergeCtx to the cold
+// convergence oracle, serially and in parallel.
+func TestConvergeCtxMatchesWorkers(t *testing.T) {
+	h, err := BuildHierarchy(rng.New(9), 6, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := h.Topo.ConvergeWorkers(1)
+	for _, workers := range []int{1, 3} {
+		got, err := h.Topo.ConvergeCtx(context.Background(), workers)
+		if err != nil {
+			t.Fatalf("ConvergeCtx(workers=%d): %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("ConvergeCtx(workers=%d) tables differ from ConvergeWorkers(1)", workers)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.Topo.ConvergeCtx(ctx, 1); err == nil {
+		t.Error("ConvergeCtx on a cancelled context returned tables, want error")
+	}
+}

@@ -517,6 +517,19 @@ func (t *Topology) ConvergeWorkers(workers int) *RoutingTables {
 	return rt
 }
 
+// ConvergeCtx is ConvergeWorkers with cooperative cancellation between
+// prefix columns. On a cancelled context the partially-converged tables are
+// discarded and ctx.Err() is returned; otherwise the tables are bit-identical
+// to the Background variants.
+func (t *Topology) ConvergeCtx(ctx context.Context, workers int) (*RoutingTables, error) {
+	e := t.compile()
+	rt := newRoutingTables(e.asns, e.prefixes)
+	if err := e.convergeAllCtx(ctx, rt, workers); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
 // serialWorkFloor is the table-cell count (prefixes × ASes) below which the
 // fork-join machinery costs more than it saves and convergeAll runs the
 // columns serially on the calling goroutine regardless of the worker knob.
@@ -539,24 +552,39 @@ func convergeChunks(nP, workers int) int {
 // serialWorkFloor cells (or with one effective worker) it skips the
 // parallel machinery entirely.
 func (e *engine) convergeAll(rt *RoutingTables, workers int) {
+	if err := e.convergeAllCtx(context.Background(), rt, workers); err != nil {
+		// The tasks never return errors and Background never cancels, so
+		// only a worker panic can land here; re-raise it.
+		panic(err)
+	}
+}
+
+// convergeAllCtx is convergeAll with cooperative cancellation between
+// prefix columns. On a cancelled context the tables are left partially
+// converged and ctx.Err() is returned — callers must discard them (cold
+// convergence builds fresh tables, so there is no state to corrupt).
+func (e *engine) convergeAllCtx(ctx context.Context, rt *RoutingTables, workers int) error {
 	nAS, nP := len(e.asns), len(e.prefixes)
 	if nAS == 0 || nP == 0 {
-		return
+		return nil
 	}
 	w := parallel.Workers(workers, nP)
 	if w == 1 || nAS*nP < serialWorkFloor {
 		st := &convState{inQueue: make([]bool, nAS)}
 		for p := 0; p < nP; p++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			e.convergePrefix(p, rt.entries[p*nAS:(p+1)*nAS], st)
 		}
-		return
+		return nil
 	}
 	chunk := convergeChunks(nP, w)
 	nChunks := (nP + chunk - 1) / chunk
 	pool := sync.Pool{New: func() any {
 		return &convState{inQueue: make([]bool, nAS)}
 	}}
-	err := parallel.ForEach(context.Background(), nChunks, w, func(ci int) error {
+	return parallel.ForEach(ctx, nChunks, w, func(ci int) error {
 		st := pool.Get().(*convState)
 		hi := (ci + 1) * chunk
 		if hi > nP {
@@ -568,9 +596,4 @@ func (e *engine) convergeAll(rt *RoutingTables, workers int) {
 		pool.Put(st)
 		return nil
 	})
-	if err != nil {
-		// The tasks never return errors and the context is never cancelled,
-		// so only a worker panic can land here; re-raise it.
-		panic(err)
-	}
 }

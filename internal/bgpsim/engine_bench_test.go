@@ -16,6 +16,7 @@ package bgpsim
 // which fails on >25% ns/op regressions.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -214,7 +215,7 @@ func BenchmarkSweepLeakIncremental(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := leakSweepRows(h, victim, 1); err != nil {
+			if _, err := leakSweepRows(context.Background(), h, victim, 1); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -243,7 +244,7 @@ func BenchmarkSweepHijackIncremental(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := hijackSweepRows(h, victim, 1); err != nil {
+			if _, err := hijackSweepRows(context.Background(), h, victim, 1); err != nil {
 				b.Fatal(err)
 			}
 		}

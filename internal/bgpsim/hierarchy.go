@@ -1,6 +1,7 @@
 package bgpsim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -174,13 +175,21 @@ func RunLeakSweep(nMid, nStub int, seed uint64) ([]LeakRow, error) {
 // means GOMAXPROCS). Convergence is bit-identical for every worker count, so
 // the rows are too.
 func RunLeakSweepWorkers(nMid, nStub int, seed uint64, workers int) ([]LeakRow, error) {
+	return RunLeakSweepCtx(context.Background(), nMid, nStub, seed, workers)
+}
+
+// RunLeakSweepCtx is RunLeakSweepWorkers with cooperative cancellation: ctx
+// is checked during the base convergence and between leaker events (each
+// scoped apply+revert runs to completion to keep the undo log consistent).
+// Rows are identical to the Background variants when ctx never cancels.
+func RunLeakSweepCtx(ctx context.Context, nMid, nStub int, seed uint64, workers int) ([]LeakRow, error) {
 	r := rng.New(seed)
 	h, err := BuildHierarchy(r.Split(), nMid, nStub)
 	if err != nil {
 		return nil, err
 	}
 	victim := h.Stubs[r.Intn(len(h.Stubs))]
-	return leakSweepRows(h, victim, workers)
+	return leakSweepRows(ctx, h, victim, workers)
 }
 
 // RunLeakSweepOpts is the leak sweep over a BuildHierarchyOpts shape; the
@@ -195,19 +204,28 @@ func RunLeakSweepOpts(o HierarchyOpts, seed uint64, workers int) ([]LeakRow, err
 		return nil, fmt.Errorf("bgpsim: leak sweep needs at least one originating stub")
 	}
 	victim := h.OriginStubs[r.Intn(len(h.OriginStubs))]
-	return leakSweepRows(h, victim, workers)
+	return leakSweepRows(context.Background(), h, victim, workers)
 }
 
 // leakSweepRows converges the base once and measures each leaker as an
 // incremental toggle scoped to the one column BlastRadius reads: a leaker
 // voids the unique-fixpoint guarantee, so the victim column is recomputed
 // cold (bit-identical to the full-converge oracle), every other column is
-// untouched, and Revert restores the base state from the undo log.
-func leakSweepRows(h *Hierarchy, victim ASN, workers int) ([]LeakRow, error) {
+// untouched, and Revert restores the base state from the undo log. ctx is
+// honoured during the base convergence and between leaker events; each
+// apply+revert pair runs to completion once started.
+func leakSweepRows(ctx context.Context, h *Hierarchy, victim ASN, workers int) ([]LeakRow, error) {
 	prefix := fmt.Sprintf("pfx-%d", victim)
-	c := h.Topo.ConvergeState(workers)
+	c, err := h.Topo.ConvergeStateCtx(ctx, workers)
+	if err != nil {
+		return nil, err
+	}
 	scope := []int32{c.rt.pfxIdx[prefix]}
 	measure := func(kind string, leaker ASN) (LeakRow, error) {
+		if err := ctx.Err(); err != nil {
+			return LeakRow{}, err
+		}
+		//humnet:allow ctxflow -- scoped apply+revert must run to completion or the undo log is left inconsistent; ctx is honoured between sweep events
 		p, err := c.applyScoped(Delta{Kind: DeltaLeakToggle, A: leaker}, scope)
 		if err != nil {
 			return LeakRow{}, err
@@ -332,13 +350,21 @@ func RunHijackSweep(nMid, nStub int, seed uint64) ([]HijackRow, error) {
 // means GOMAXPROCS). Convergence is bit-identical for every worker count, so
 // the rows are too.
 func RunHijackSweepWorkers(nMid, nStub int, seed uint64, workers int) ([]HijackRow, error) {
+	return RunHijackSweepCtx(context.Background(), nMid, nStub, seed, workers)
+}
+
+// RunHijackSweepCtx is RunHijackSweepWorkers with cooperative cancellation:
+// ctx is checked during the base convergence and between attack events (each
+// announce+revert pair runs to completion to keep the undo log consistent).
+// Rows are identical to the Background variants when ctx never cancels.
+func RunHijackSweepCtx(ctx context.Context, nMid, nStub int, seed uint64, workers int) ([]HijackRow, error) {
 	r := rng.New(seed)
 	h, err := BuildHierarchy(r.Split(), nMid, nStub)
 	if err != nil {
 		return nil, err
 	}
 	victim := h.Stubs[r.Intn(len(h.Stubs))]
-	return hijackSweepRows(h, victim, workers)
+	return hijackSweepRows(ctx, h, victim, workers)
 }
 
 // RunHijackSweepOpts is the hijack sweep over a BuildHierarchyOpts shape;
@@ -353,16 +379,25 @@ func RunHijackSweepOpts(o HierarchyOpts, seed uint64, workers int) ([]HijackRow,
 		return nil, fmt.Errorf("bgpsim: hijack sweep needs at least one originating stub")
 	}
 	victim := h.OriginStubs[r.Intn(len(h.OriginStubs))]
-	return hijackSweepRows(h, victim, workers)
+	return hijackSweepRows(context.Background(), h, victim, workers)
 }
 
 // hijackSweepRows converges the base once and measures each attacker as an
 // incremental announce of the victim's prefix, reverted after measuring.
-func hijackSweepRows(h *Hierarchy, victim ASN, workers int) ([]HijackRow, error) {
+// ctx is honoured during the base convergence and between attack events;
+// each announce+revert pair runs to completion once started.
+func hijackSweepRows(ctx context.Context, h *Hierarchy, victim ASN, workers int) ([]HijackRow, error) {
 	prefix := fmt.Sprintf("pfx-%d", victim)
-	c := h.Topo.ConvergeState(workers)
+	c, err := h.Topo.ConvergeStateCtx(ctx, workers)
+	if err != nil {
+		return nil, err
+	}
 	asns := h.Topo.ASNs()
 	measure := func(kind string, attacker ASN) (HijackRow, error) {
+		if err := ctx.Err(); err != nil {
+			return HijackRow{}, err
+		}
+		//humnet:allow ctxflow -- announce+revert must run to completion or the undo log is left inconsistent; ctx is honoured between sweep events
 		p, err := c.Apply(Delta{Kind: DeltaAnnounce, A: attacker, Prefix: prefix})
 		if err != nil {
 			return HijackRow{}, err

@@ -212,16 +212,33 @@ type Converged struct {
 // state. The topology is captured by reference: mutate it only through
 // Apply/Revert while the state is in use, or the compiled form goes stale.
 func (t *Topology) ConvergeState(workers int) *Converged {
+	c, err := t.ConvergeStateCtx(context.Background(), workers)
+	if err != nil {
+		// Background never cancels; only a worker panic can land here.
+		panic(err)
+	}
+	return c
+}
+
+// ConvergeStateCtx is ConvergeState with cooperative cancellation during
+// the cold convergence: ctx is checked between prefix columns, and on
+// cancellation the half-built tables are discarded and ctx.Err() returned.
+// Once the state is returned, Apply/Revert events themselves run to
+// completion — cancelling mid-event would leave the undo log inconsistent —
+// so callers driving event sweeps check the context between events.
+func (t *Topology) ConvergeStateCtx(ctx context.Context, workers int) (*Converged, error) {
 	e := t.compile()
 	rt := newRoutingTables(e.asns, e.prefixes)
-	e.convergeAll(rt, workers)
+	if err := e.convergeAllCtx(ctx, rt, workers); err != nil {
+		return nil, err
+	}
 	return &Converged{
 		t:       t,
 		e:       e,
 		rt:      rt,
 		workers: workers,
 		st:      &convState{inQueue: make([]bool, len(e.asns))},
-	}
+	}, nil
 }
 
 // Tables returns the live routing tables. They mutate in place on every

@@ -153,8 +153,14 @@ func runGraph(ctx context.Context, p experiment.Values, seed uint64) (*experimen
 	t.AddRow(experiment.S("innermost-core"), experiment.I(inCore))
 
 	workers := experiment.WorkersFrom(ctx)
-	bc := g.BetweennessCentralityWorkers(workers)
-	cc := g.ClosenessCentralityWorkers(workers)
+	bc, err := g.BetweennessCentralityCtx(ctx, workers)
+	if err != nil {
+		return nil, err
+	}
+	cc, err := g.ClosenessCentralityCtx(ctx, workers)
+	if err != nil {
+		return nil, err
+	}
 	order := make([]int, g.N())
 	for i := range order {
 		order[i] = i

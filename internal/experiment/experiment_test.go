@@ -233,3 +233,18 @@ func TestRenderMarkdownShape(t *testing.T) {
 		}
 	}
 }
+
+// TestParamsReturnsACopy pins the aliasret remediation: mutating the schema
+// a Scenario hands out must not corrupt the registered definition.
+func TestParamsReturnsACopy(t *testing.T) {
+	s := def{d: synthDef("copy-check")}
+	got := s.Params()
+	if len(got) == 0 {
+		t.Fatal("empty schema")
+	}
+	got[0].Name = "mutated"
+	got[0].Default = -1
+	if again := s.Params(); again[0].Name != "rows" || again[0].Default != 4 {
+		t.Errorf("registered schema was mutated through the returned copy: %+v", again[0])
+	}
+}

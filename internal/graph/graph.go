@@ -90,8 +90,12 @@ func (g *Graph) HasEdge(u, v int) bool {
 }
 
 // Neighbors returns the adjacency list of u. The returned slice must not be
-// modified.
-func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+// modified: it is a zero-copy view into the graph, read in the inner loops
+// of the cn scheduler and every traversal — copying here would allocate
+// O(degree) per visit on the hottest paths in the repo.
+func (g *Graph) Neighbors(u int) []Edge { //humnet:allow aliasret -- zero-copy read view on traversal hot paths; the no-modify contract is documented
+	return g.adj[u]
+}
 
 // Degree returns the out-degree of u.
 func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
@@ -288,12 +292,24 @@ func (g *Graph) ClosenessCentrality() []float64 {
 // workers == 1 runs serially). Each source writes only its own entry, so the
 // output is bit-identical for every worker count.
 func (g *Graph) ClosenessCentralityWorkers(workers int) []float64 {
+	c, err := g.ClosenessCentralityCtx(context.Background(), workers)
+	if err != nil {
+		panic(err) // Background never cancels and tasks never fail: panics only
+	}
+	return c
+}
+
+// ClosenessCentralityCtx is ClosenessCentralityWorkers with cooperative
+// cancellation: ctx is checked between per-source BFS tasks, so a cancelled
+// caller stops paying for sources it no longer wants. On cancellation the
+// partial result is discarded and ctx.Err() returned.
+func (g *Graph) ClosenessCentralityCtx(ctx context.Context, workers int) ([]float64, error) {
 	n := len(g.adj)
 	c := make([]float64, n)
 	if n < 2 {
-		return c
+		return c, nil
 	}
-	_ = parallel.ForEach(context.Background(), n, workers, func(u int) error {
+	err := parallel.ForEach(ctx, n, workers, func(u int) error {
 		dist := g.BFS(u)
 		sum, reach := 0, 0
 		for v, d := range dist {
@@ -308,7 +324,10 @@ func (g *Graph) ClosenessCentralityWorkers(workers int) []float64 {
 		}
 		return nil
 	})
-	return c
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // brandesFrom runs the single-source phase of Brandes' algorithm from s
@@ -366,10 +385,21 @@ func (g *Graph) BetweennessCentrality() []float64 {
 // source order, so the floating-point accumulation order — and therefore the
 // output, bit for bit — is identical for every worker count.
 func (g *Graph) BetweennessCentralityWorkers(workers int) []float64 {
+	cb, err := g.BetweennessCentralityCtx(context.Background(), workers)
+	if err != nil {
+		panic(err) // Background never cancels and tasks never fail: panics only
+	}
+	return cb
+}
+
+// BetweennessCentralityCtx is BetweennessCentralityWorkers with cooperative
+// cancellation: ctx is checked between per-source Brandes phases. On
+// cancellation the partial accumulation is discarded and ctx.Err() returned.
+func (g *Graph) BetweennessCentralityCtx(ctx context.Context, workers int) ([]float64, error) {
 	n := len(g.adj)
 	cb := make([]float64, n)
 	if n == 0 {
-		return cb
+		return cb, nil
 	}
 	accumulate := func(s int, delta []float64) error {
 		for w, d := range delta {
@@ -382,25 +412,31 @@ func (g *Graph) BetweennessCentralityWorkers(workers int) []float64 {
 	if parallel.Workers(workers, n) == 1 {
 		delta := make([]float64, n)
 		for s := 0; s < n; s++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			clear(delta)
 			g.brandesFrom(s, delta)
 			_ = accumulate(s, delta)
 		}
 	} else {
-		_ = parallel.ReduceOrdered(context.Background(), n, workers,
+		err := parallel.ReduceOrdered(ctx, n, workers,
 			func(s int) ([]float64, error) {
 				delta := make([]float64, n)
 				g.brandesFrom(s, delta)
 				return delta, nil
 			},
 			accumulate)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if !g.directed {
 		for i := range cb {
 			cb[i] /= 2
 		}
 	}
-	return cb
+	return cb, nil
 }
 
 // PageRank returns the PageRank vector with the given damping factor,

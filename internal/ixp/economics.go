@@ -45,6 +45,13 @@ type EconRow struct {
 // the transit bill (volume × price) against the remote port fee and pick
 // the cheaper option; ISPs with local content always peer locally (free).
 func RunEconomic(cfg EconConfig) (EconRow, error) {
+	return RunEconomicCtx(context.Background(), cfg)
+}
+
+// RunEconomicCtx is RunEconomic with cooperative cancellation of the
+// underlying gravity convergence; the row is identical when ctx never
+// cancels.
+func RunEconomicCtx(ctx context.Context, cfg EconConfig) (EconRow, error) {
 	if cfg.SouthISPs <= 0 || cfg.LocalIXPs <= 0 {
 		return EconRow{}, fmt.Errorf("ixp: economic config incomplete")
 	}
@@ -64,7 +71,7 @@ func RunEconomic(cfg EconConfig) (EconRow, error) {
 	// and content-absent ISPs ride transit. We emulate the latter with a
 	// presence-1 run restricted to content-present ISPs plus a transit
 	// residue computed analytically from the same PoP placement.
-	row, err := RunGravity(gravityCfg)
+	row, err := RunGravityCtx(ctx, gravityCfg)
 	if err != nil {
 		return EconRow{}, err
 	}
@@ -99,9 +106,15 @@ func EconomicSweep(base EconConfig, portCosts []float64) ([]EconRow, error) {
 // across at most workers goroutines (workers <= 0 means GOMAXPROCS). Rows
 // are written by index, so the output is identical for every worker count.
 func EconomicSweepWorkers(base EconConfig, portCosts []float64, workers int) ([]EconRow, error) {
-	return parallel.Map(context.Background(), len(portCosts), workers, func(i int) (EconRow, error) {
+	return EconomicSweepCtx(context.Background(), base, portCosts, workers)
+}
+
+// EconomicSweepCtx is EconomicSweepWorkers with cooperative cancellation
+// between price points.
+func EconomicSweepCtx(ctx context.Context, base EconConfig, portCosts []float64, workers int) ([]EconRow, error) {
+	return parallel.Map(ctx, len(portCosts), workers, func(i int) (EconRow, error) {
 		cfg := base
 		cfg.RemotePortCost = portCosts[i]
-		return RunEconomic(cfg)
+		return RunEconomicCtx(ctx, cfg)
 	})
 }

@@ -194,11 +194,22 @@ func circumventionDemands(cfg CircumventionConfig) []Demand {
 
 // RunCircumvention executes one E1 scenario and returns its measured row.
 func RunCircumvention(cfg CircumventionConfig) (CircumventionRow, error) {
+	return RunCircumventionCtx(context.Background(), cfg)
+}
+
+// RunCircumventionCtx is RunCircumvention with cooperative cancellation of
+// the scenario convergence; the row is identical when ctx never cancels.
+func RunCircumventionCtx(ctx context.Context, cfg CircumventionConfig) (CircumventionRow, error) {
 	f, demands, err := BuildCircumventionScenario(cfg)
 	if err != nil {
 		return CircumventionRow{}, err
 	}
-	rt := f.Topo.Converge()
+	// Serial convergence per scenario: the sweep entry points already fan
+	// scenarios out, so per-scenario workers would oversubscribe.
+	rt, err := f.Topo.ConvergeCtx(ctx, 1)
+	if err != nil {
+		return CircumventionRow{}, err
+	}
 	res := f.Locality(rt, demands, "MX")
 
 	// Locality restricted to demand between the incumbent's org and the
@@ -262,6 +273,13 @@ func CircumventionSweep(competitors int, incumbentShare float64, maxShells int) 
 // GOMAXPROCS). Each scenario builds its own topology and writes its row by
 // index, so the rows are identical for every worker count.
 func CircumventionSweepWorkers(competitors int, incumbentShare float64, maxShells, workers int) ([]CircumventionRow, error) {
+	return CircumventionSweepCtx(context.Background(), competitors, incumbentShare, maxShells, workers)
+}
+
+// CircumventionSweepCtx is CircumventionSweepWorkers with cooperative
+// cancellation between scenario points; rows are identical to the
+// Background-context variants when the context never cancels.
+func CircumventionSweepCtx(ctx context.Context, competitors int, incumbentShare float64, maxShells, workers int) ([]CircumventionRow, error) {
 	base := CircumventionConfig{Competitors: competitors, IncumbentShare: incumbentShare}
 	var cfgs []CircumventionConfig
 	for _, mode := range []RegulationMode{NoRegulation, RegulationCompliant} {
@@ -275,8 +293,8 @@ func CircumventionSweepWorkers(competitors int, incumbentShare float64, maxShell
 		cfg.Shells = shells
 		cfgs = append(cfgs, cfg)
 	}
-	return parallel.Map(context.Background(), len(cfgs), workers, func(i int) (CircumventionRow, error) {
-		return RunCircumvention(cfgs[i])
+	return parallel.Map(ctx, len(cfgs), workers, func(i int) (CircumventionRow, error) {
+		return RunCircumventionCtx(ctx, cfgs[i])
 	})
 }
 
@@ -293,8 +311,14 @@ func PolicySweep(competitors int, incumbentShare float64, migrations []float64) 
 // across at most workers goroutines (workers <= 0 means GOMAXPROCS). Rows
 // are written by index, so the output is identical for every worker count.
 func PolicySweepWorkers(competitors int, incumbentShare float64, migrations []float64, workers int) ([]CircumventionRow, error) {
-	return parallel.Map(context.Background(), len(migrations), workers, func(i int) (CircumventionRow, error) {
-		return RunCircumvention(CircumventionConfig{
+	return PolicySweepCtx(context.Background(), competitors, incumbentShare, migrations, workers)
+}
+
+// PolicySweepCtx is PolicySweepWorkers with cooperative cancellation between
+// migration points.
+func PolicySweepCtx(ctx context.Context, competitors int, incumbentShare float64, migrations []float64, workers int) ([]CircumventionRow, error) {
+	return parallel.Map(ctx, len(migrations), workers, func(i int) (CircumventionRow, error) {
+		return RunCircumventionCtx(ctx, CircumventionConfig{
 			Competitors:    competitors,
 			IncumbentShare: incumbentShare,
 			Shells:         2,
@@ -345,6 +369,12 @@ const (
 
 // RunGravity executes one E2 configuration.
 func RunGravity(cfg GravityConfig) (GravityRow, error) {
+	return RunGravityCtx(context.Background(), cfg)
+}
+
+// RunGravityCtx is RunGravity with cooperative cancellation of the scenario
+// convergence; the row is identical when ctx never cancels.
+func RunGravityCtx(ctx context.Context, cfg GravityConfig) (GravityRow, error) {
 	r := rng.New(cfg.Seed)
 	topo := bgpsim.NewTopology()
 	f := NewFabric(topo)
@@ -408,7 +438,11 @@ func RunGravity(cfg GravityConfig) (GravityRow, error) {
 		demands = append(demands, Demand{Src: n, Prefix: "pfx-content", Volume: 1})
 	}
 	f.EstablishSessions(Regulation{})
-	rt := topo.Converge()
+	// Serial per scenario; the sweep fans scenarios out (see RunCircumventionCtx).
+	rt, err := topo.ConvergeCtx(ctx, 1)
+	if err != nil {
+		return GravityRow{}, err
+	}
 
 	var giant, local, transit, total, pathLen float64
 	for _, d := range demands {
@@ -458,8 +492,14 @@ func GravitySweep(southISPs, localIXPs int, presences []float64, seed uint64) ([
 // sweep used — and rows are written by index, so the output is identical for
 // every worker count.
 func GravitySweepWorkers(southISPs, localIXPs int, presences []float64, seed uint64, workers int) ([]GravityRow, error) {
-	return parallel.Map(context.Background(), len(presences), workers, func(i int) (GravityRow, error) {
-		return RunGravity(GravityConfig{
+	return GravitySweepCtx(context.Background(), southISPs, localIXPs, presences, seed, workers)
+}
+
+// GravitySweepCtx is GravitySweepWorkers with cooperative cancellation
+// between presence points.
+func GravitySweepCtx(ctx context.Context, southISPs, localIXPs int, presences []float64, seed uint64, workers int) ([]GravityRow, error) {
+	return parallel.Map(ctx, len(presences), workers, func(i int) (GravityRow, error) {
+		return RunGravityCtx(ctx, GravityConfig{
 			SouthISPs:       southISPs,
 			LocalIXPs:       localIXPs,
 			ContentPresence: presences[i],

@@ -51,7 +51,7 @@ func runE1(ctx context.Context, p experiment.Values, _ uint64) (*experiment.Resu
 	workers := experiment.WorkersFrom(ctx)
 	res := &experiment.Result{}
 
-	rows, err := CircumventionSweepWorkers(p.Int("competitors"), p.Float("incumbent-share"), p.Int("max-shells"), workers)
+	rows, err := CircumventionSweepCtx(ctx, p.Int("competitors"), p.Float("incumbent-share"), p.Int("max-shells"), workers)
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +66,7 @@ func runE1(ctx context.Context, p experiment.Values, _ uint64) (*experiment.Resu
 	if err != nil {
 		return nil, err
 	}
-	pol, err := PolicySweepWorkers(p.Int("competitors"), p.Float("incumbent-share"), migrations, workers)
+	pol, err := PolicySweepCtx(ctx, p.Int("competitors"), p.Float("incumbent-share"), migrations, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +88,7 @@ func runE2(ctx context.Context, p experiment.Values, seed uint64) (*experiment.R
 	if err != nil {
 		return nil, err
 	}
-	rows, err := GravitySweepWorkers(p.Int("isps"), p.Int("local-ixps"), presences, seed, workers)
+	rows, err := GravitySweepCtx(ctx, p.Int("isps"), p.Int("local-ixps"), presences, seed, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +103,7 @@ func runE2(ctx context.Context, p experiment.Values, seed uint64) (*experiment.R
 	if err != nil {
 		return nil, err
 	}
-	econ, err := EconomicSweepWorkers(EconConfig{
+	econ, err := EconomicSweepCtx(ctx, EconConfig{
 		SouthISPs:           p.Int("econ-isps"),
 		LocalIXPs:           p.Int("econ-ixps"),
 		ContentPresence:     p.Float("content-presence"),
