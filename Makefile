@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: all check build vet lint lint-fix-check test test-race prop fuzz-smoke bench bench-json bench-gate bench-serve serve-smoke report examples clean
+.PHONY: all check build vet lint lint-fix-check test test-shuffle test-race prop fuzz-smoke bench bench-json bench-gate bench-serve serve-smoke report examples clean
 
 all: build vet lint test test-race report serve-smoke
 
 # Fast pre-commit gate: compile, vet, determinism lint, unit tests (no race
-# detector), the cold-vs-cached report identity check, and the service-mode
-# smoke (humnetd + humnetload determinism end-to-end).
-check: build vet lint test report serve-smoke
+# detector), a shuffled re-run (test-order independence), the cold-vs-cached
+# report identity check, and the service-mode smoke (humnetd + humnetload
+# determinism end-to-end).
+check: build vet lint test test-shuffle report serve-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +38,12 @@ lint-fix-check:
 test:
 	$(GO) test ./...
 
+# Re-run the suite with shuffled test and subtest order: no test may depend
+# on state another test left behind (golden caches, package-level registries,
+# tempdirs). The seed is printed on failure for reproduction.
+test-shuffle:
+	$(GO) test -shuffle=on -count=1 ./...
+
 # Run the whole suite under the race detector; the parallel engine and its
 # call sites (graph centrality, bootstrap CIs, ixp sweeps) must stay clean.
 test-race:
@@ -58,6 +65,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzQuantile$$' -fuzztime $(FUZZTIME) ./internal/stats
 	$(GO) test -run '^$$' -fuzz '^FuzzHistogram$$' -fuzztime $(FUZZTIME) ./internal/stats
 	$(GO) test -run '^$$' -fuzz '^FuzzParseTopology$$' -fuzztime $(FUZZTIME) ./internal/bgpsim
+	$(GO) test -run '^$$' -fuzz '^FuzzParseStream$$' -fuzztime $(FUZZTIME) ./internal/timeline
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrom$$' -fuzztime $(FUZZTIME) ./internal/qualcode
 	$(GO) test -run '^$$' -fuzz '^FuzzTokenize$$' -fuzztime $(FUZZTIME) ./internal/textproc
 	$(GO) test -run '^$$' -fuzz '^FuzzStem$$' -fuzztime $(FUZZTIME) ./internal/textproc
@@ -124,7 +132,7 @@ serve-smoke:
 	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
 	[ -s $$tmp/addr ] || { echo "serve-smoke: humnetd did not start:" >&2; cat $$tmp/daemon.log >&2; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
 	$$tmp/humnetload -addr $$(cat $$tmp/addr) -n 2000 -variants 2 -repeat 2 -workers 16 \
-		-scenarios E7,E8,E9,E10 -expect-single-exec \
+		-scenarios E7,E8,E9,E10,E17,E19 -expect-single-exec \
 		|| { echo "serve-smoke: humnetload failed" >&2; cat $$tmp/daemon.log >&2; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
 	kill $$pid; wait $$pid 2>/dev/null; rm -rf $$tmp; \
 	echo "serve-smoke ok (deterministic responses, single execution per triple)"

@@ -1,6 +1,6 @@
 // Command humnetd serves the experiment registry over HTTP/JSON — the
 // repository's scenario platform as a daemon. Every registered scenario
-// (E1–E16 plus the auxiliary studies) is runnable via
+// (E1–E19 plus the auxiliary studies) is runnable via
 //
 //	GET /run?id=E7&seed=9&<param>=<value>...
 //
@@ -16,8 +16,9 @@
 // Usage:
 //
 //	humnetd [-addr 127.0.0.1:8080] [-addr-file PATH] [-cache-dir DIR]
-//	        [-lru 4096] [-max-inflight 0] [-max-queue 1024]
-//	        [-queue-timeout 2s] [-retry-after 1s] [-workers 0]
+//	        [-lru 4096] [-lru-bytes 67108864] [-max-inflight 0]
+//	        [-max-queue 1024] [-queue-timeout 2s] [-retry-after 1s]
+//	        [-workers 0]
 //
 // -addr-file writes the bound address after listening starts, so scripts
 // can use "-addr 127.0.0.1:0" and discover the ephemeral port. SIGINT and
@@ -59,6 +60,7 @@ func run(args []string, stderr io.Writer) error {
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
 	cacheDir := fs.String("cache-dir", "", "content-addressed disk cache directory (empty = memory only)")
 	lruSize := fs.Int("lru", 4096, "in-memory response LRU capacity in entries (<= 0 disables)")
+	lruBytes := fs.Int64("lru-bytes", 64<<20, "in-memory response LRU byte budget; larger responses are served uncached (<= 0 = no byte bound)")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing /run requests (0 = GOMAXPROCS)")
 	maxQueue := fs.Int("max-queue", 1024, "max requests waiting for an execution slot before shedding 429")
 	queueTimeout := fs.Duration("queue-timeout", 2*time.Second, "max wait for an execution slot before shedding 503")
@@ -70,6 +72,7 @@ func run(args []string, stderr io.Writer) error {
 
 	cfg := serve.Config{
 		LRUSize:         *lruSize,
+		LRUBytes:        *lruBytes,
 		MaxInFlight:     *maxInflight,
 		MaxQueue:        *maxQueue,
 		QueueTimeout:    *queueTimeout,

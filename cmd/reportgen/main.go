@@ -1,4 +1,4 @@
-// Command reportgen renders the full experiment report (E1–E16) from the
+// Command reportgen renders the full experiment report (E1–E19) from the
 // scenario registry — the automated regeneration of the measured sections in
 // EXPERIMENTS.md. Every experiment is resolved through internal/experiment;
 // this binary is registry iteration plus rendering and holds no
@@ -8,12 +8,17 @@
 //
 //	reportgen [-out report.md] [-workers 4] [-only E3,E7] [-json] [-list]
 //	          [-cache-dir DIR] [-cache-stats]
+//	reportgen -timeline doc.txt [-out report.md] [-workers 4] [-json]
 //
 // -workers bounds the goroutines used per sweep-style scenario and across
 // scenarios; every table is bit-identical for any value. With -cache-dir,
 // results are stored content-addressed on disk and a warm re-run renders the
 // byte-identical report without re-executing unchanged scenarios
 // (-cache-stats reports hits/misses on stderr).
+//
+// -timeline replays a timeline document (a base BGP topology plus `@<tick>
+// <event>` lines; see internal/timeline) through the incremental engine and
+// renders its per-tick series instead of the registry report.
 package main
 
 import (
@@ -23,10 +28,12 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/experiment"
 	_ "repro/internal/experiment/all"
+	"repro/internal/timeline"
 )
 
 func main() {
@@ -49,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	list := fs.Bool("list", false, "list every registered scenario with its params and exit")
 	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory (empty = no cache)")
 	cacheStats := fs.Bool("cache-stats", false, "report cache hits/misses on stderr after the run")
+	timelinePath := fs.String("timeline", "", "replay this timeline document (base topology + @tick events) and render its series instead of the report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +64,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *list {
 		_, err := io.WriteString(stdout, experiment.RenderList(experiment.All()))
 		return err
+	}
+	if *timelinePath != "" {
+		return runTimeline(*timelinePath, *workers, *jsonOut, *out, stdout)
 	}
 
 	scenarios, err := selectScenarios(*only)
@@ -99,6 +110,55 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		_, err := fmt.Fprintf(stdout, "wrote %s\n", *out)
+		return err
+	}
+	_, err = stdout.Write(rendered)
+	return err
+}
+
+// runTimeline replays a timeline document through the incremental BGP
+// engine and renders the per-tick series. The document must carry a base
+// topology — a stream alone has no state to replay against.
+func runTimeline(path string, workers int, jsonOut bool, out string, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	doc, err := timeline.ParseDoc(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if doc.Topo == nil {
+		return fmt.Errorf("timeline document %s has no base topology to replay against", path)
+	}
+	m, err := timeline.NewBGPMachine(context.Background(), doc.Topo, workers)
+	if err != nil {
+		return err
+	}
+	series, err := timeline.Replay(doc.Stream, m)
+	if err != nil {
+		return err
+	}
+	res := &experiment.Result{ID: "timeline", Title: fmt.Sprintf("Timeline replay: %s", filepath.Base(path))}
+	series.Table(res, "timeline", res.Title)
+
+	var rendered []byte
+	if jsonOut {
+		rendered, err = experiment.RenderJSON([]*experiment.Result{res})
+		if err != nil {
+			return err
+		}
+	} else {
+		rendered = []byte(experiment.RenderMarkdown([]*experiment.Result{res}))
+	}
+	if out != "" {
+		if err := os.WriteFile(out, rendered, 0o644); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(stdout, "wrote %s\n", out)
 		return err
 	}
 	_, err = stdout.Write(rendered)

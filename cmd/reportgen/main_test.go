@@ -35,11 +35,11 @@ func TestCachedRunByteIdentical(t *testing.T) {
 	if cold != warm {
 		t.Fatal("warm-cache report differs from cold run")
 	}
-	if !strings.Contains(coldStats, "cache: 0 hits, 16 misses") {
-		t.Fatalf("cold stats = %q, want 16 misses", coldStats)
+	if !strings.Contains(coldStats, "cache: 0 hits, 19 misses") {
+		t.Fatalf("cold stats = %q, want 19 misses", coldStats)
 	}
-	if !strings.Contains(warmStats, "cache: 16 hits, 0 misses") {
-		t.Fatalf("warm stats = %q, want 16 pure hits", warmStats)
+	if !strings.Contains(warmStats, "cache: 19 hits, 0 misses") {
+		t.Fatalf("warm stats = %q, want 19 pure hits", warmStats)
 	}
 }
 
@@ -73,6 +73,46 @@ func TestOnlyFilterAndJSON(t *testing.T) {
 
 	if err := run([]string{"-only", "E999"}, &out, &errOut); err == nil {
 		t.Fatal("unknown -only ID accepted")
+	}
+}
+
+// TestTimelineMode replays the testdata timeline document through -timeline:
+// output must carry the per-tick series, be byte-identical at any worker
+// count, and render as a single-result JSON array under -json.
+func TestTimelineMode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-timeline", "testdata/flap.timeline", "-workers", "1"}, &out, &errOut); err != nil {
+		t.Fatalf("run -timeline: %v", err)
+	}
+	md := out.String()
+	for _, want := range []string{"## timeline — Timeline replay: flap.timeline", "| tick | events | cells | reachable | reach-share | prefixes |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("-timeline output missing %q:\n%s", want, md)
+		}
+	}
+	if got := strings.Count(md, "\n| "); got < 6 {
+		t.Fatalf("expected at least 6 table lines (header + 6 ticks), got %d:\n%s", got, md)
+	}
+
+	var out4 bytes.Buffer
+	if err := run([]string{"-timeline", "testdata/flap.timeline", "-workers", "4"}, &out4, &errOut); err != nil {
+		t.Fatalf("run -timeline -workers 4: %v", err)
+	}
+	if out4.String() != md {
+		t.Fatal("-timeline output differs across worker counts")
+	}
+
+	out.Reset()
+	if err := run([]string{"-timeline", "testdata/flap.timeline", "-json"}, &out, &errOut); err != nil {
+		t.Fatalf("run -timeline -json: %v", err)
+	}
+	js := out.String()
+	if !strings.Contains(js, `"id": "timeline"`) || !strings.HasPrefix(js, "[") {
+		t.Fatalf("-timeline -json output malformed:\n%.300s", js)
+	}
+
+	if err := run([]string{"-timeline", "testdata/nope.timeline"}, &out, &errOut); err == nil {
+		t.Fatal("missing timeline document accepted")
 	}
 }
 

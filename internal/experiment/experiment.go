@@ -86,9 +86,10 @@ func (d Def) validate() error {
 // def adapts a Def to the Scenario interface.
 type def struct{ d Def }
 
-func (s def) ID() string          { return s.d.ID }
-func (s def) Title() string       { return s.d.Title }
-func (s def) Claim() string       { return s.d.Claim }
+func (s def) ID() string    { return s.d.ID }
+func (s def) Title() string { return s.d.Title }
+func (s def) Claim() string { return s.d.Claim }
+
 // Params returns a copy of the schema: callers (renderers, CLI listing)
 // must not be able to reorder or edit the registered parameter specs.
 func (s def) Params() Schema      { return append(s.d.Params[:0:0], s.d.Params...) }

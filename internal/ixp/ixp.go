@@ -206,6 +206,36 @@ func (f *Fabric) Leave(ixpName string, n bgpsim.ASN) {
 	}
 }
 
+// Sessions returns the number of IXP-attributed peering sessions currently
+// recorded in the fabric (bilateral non-IXP peerings are not counted).
+func (f *Fabric) Sessions() int { return len(f.sessionIXP) }
+
+// RetractMemberSessions removes every session established at the named IXP
+// that involves AS n: the peer edges leave the topology and the attribution
+// map, and the count of retracted sessions is returned. Pair it with Leave
+// to model a member actually departing the exchange — Leave alone only stops
+// future establishment, which models lapsed membership with grandfathered
+// sessions.
+func (f *Fabric) RetractMemberSessions(ixpName string, n bgpsim.ASN) int {
+	keys := make([][2]bgpsim.ASN, 0, 4)
+	for k, name := range f.sessionIXP {
+		if name == ixpName && (k[0] == n || k[1] == n) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		f.Topo.RemovePeer(k[0], k[1])
+		delete(f.sessionIXP, k)
+	}
+	return len(keys)
+}
+
 // wouldPeer reports whether member m agrees to peer with other.
 func (m *member) wouldPeer(other bgpsim.ASN) bool {
 	switch m.policy {

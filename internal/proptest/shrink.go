@@ -11,10 +11,10 @@ const maxShrinkRuns = 4096
 
 // shrinker carries the current best (still failing) tape through the passes.
 type shrinker struct {
-	prop func(*G) error
-	tape []uint64
-	err  error
-	runs int
+	prop  func(*G) error
+	tape  []uint64
+	err   error
+	runs  int
 	steps int
 }
 

@@ -11,18 +11,25 @@ type lruEntry struct {
 }
 
 // lru is a bounded most-recently-used response cache in front of the disk
-// cache. It is not safe for concurrent use; the Server guards it with its
-// own mutex so lookup+insert pairs stay atomic.
+// cache, limited both by entry count and by resident body bytes — time-series
+// responses (E17–E19 and larger temporal replays) are orders of magnitude
+// bigger than scalar-table ones, so counting entries alone would let a few
+// temporal responses balloon the cache far past its intended footprint. It is
+// not safe for concurrent use; the Server guards it with its own mutex so
+// lookup+insert pairs stay atomic.
 type lru struct {
-	cap int
-	ll  *list.List
-	m   map[string]*list.Element
+	cap      int
+	maxBytes int64
+	bytes    int64
+	ll       *list.List
+	m        map[string]*list.Element
 }
 
-// newLRU returns a cache bounded to capacity entries; capacity <= 0 means
-// the cache is disabled (every get misses, every add is dropped).
-func newLRU(capacity int) *lru {
-	return &lru{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+// newLRU returns a cache bounded to capacity entries and maxBytes total body
+// bytes; capacity <= 0 disables the cache (every get misses, every add is
+// dropped) and maxBytes <= 0 means no byte bound.
+func newLRU(capacity int, maxBytes int64) *lru {
+	return &lru{cap: capacity, maxBytes: maxBytes, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
 // get returns the entry under key, promoting it to most-recently-used.
@@ -35,24 +42,37 @@ func (l *lru) get(key string) (*lruEntry, bool) {
 	return el.Value.(*lruEntry), true
 }
 
-// add inserts or refreshes key's entry, evicting the least-recently-used
-// entry when the cache is over capacity.
+// add inserts or refreshes key's entry, evicting least-recently-used entries
+// while the cache is over its entry or byte bound. A body larger than the
+// whole byte budget is never cached — admitting it would flush everything
+// else and then still leave the cache over budget.
 func (l *lru) add(key string, body []byte) {
 	if l.cap <= 0 {
 		return
 	}
-	if el, ok := l.m[key]; ok {
-		el.Value.(*lruEntry).body = body
-		l.ll.MoveToFront(el)
+	if l.maxBytes > 0 && int64(len(body)) > l.maxBytes {
 		return
 	}
-	l.m[key] = l.ll.PushFront(&lruEntry{key: key, body: body})
-	for l.ll.Len() > l.cap {
+	if el, ok := l.m[key]; ok {
+		e := el.Value.(*lruEntry)
+		l.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		l.ll.MoveToFront(el)
+	} else {
+		l.m[key] = l.ll.PushFront(&lruEntry{key: key, body: body})
+		l.bytes += int64(len(body))
+	}
+	for l.ll.Len() > l.cap || (l.maxBytes > 0 && l.bytes > l.maxBytes) {
 		oldest := l.ll.Back()
+		e := oldest.Value.(*lruEntry)
 		l.ll.Remove(oldest)
-		delete(l.m, oldest.Value.(*lruEntry).key)
+		delete(l.m, e.key)
+		l.bytes -= int64(len(e.body))
 	}
 }
 
 // len reports the current entry count.
 func (l *lru) len() int { return l.ll.Len() }
+
+// size reports the resident body bytes.
+func (l *lru) size() int64 { return l.bytes }

@@ -72,13 +72,14 @@ type Snapshot struct {
 	DiskHitRatio float64 `json:"disk_hit_ratio"`
 	ExecRatio    float64 `json:"exec_ratio"`
 
-	BadRequest  int64 `json:"bad_request"`
-	NotFound    int64 `json:"not_found"`
-	ShedQueue   int64 `json:"shed_queue_full"`
-	ShedWait    int64 `json:"shed_wait_timeout"`
-	Failed      int64 `json:"failed"`
-	LRUSize     int   `json:"lru_size"`
-	LatSumUS    int64 `json:"latency_sum_us"`
+	BadRequest  int64           `json:"bad_request"`
+	NotFound    int64           `json:"not_found"`
+	ShedQueue   int64           `json:"shed_queue_full"`
+	ShedWait    int64           `json:"shed_wait_timeout"`
+	Failed      int64           `json:"failed"`
+	LRUSize     int             `json:"lru_size"`
+	LRUBytes    int64           `json:"lru_bytes"`
+	LatSumUS    int64           `json:"latency_sum_us"`
 	LatencyHist []LatencyBucket `json:"latency_hist"`
 }
 

@@ -46,6 +46,11 @@ type Config struct {
 	// LRUSize bounds the in-memory response cache (entries); <= 0 disables
 	// it.
 	LRUSize int
+	// LRUBytes bounds the LRU's resident response bytes; time-series
+	// responses dwarf scalar ones, so the entry bound alone does not cap the
+	// footprint. A body larger than the whole budget is served but never
+	// cached. <= 0 means no byte bound.
+	LRUBytes int64
 	// MaxInFlight bounds concurrently-executing /run requests; <= 0 means
 	// GOMAXPROCS.
 	MaxInFlight int
@@ -113,7 +118,7 @@ func New(cfg Config) *Server {
 			Coalesce:        true,
 		},
 		now:   now,
-		lru:   newLRU(cfg.LRUSize),
+		lru:   newLRU(cfg.LRUSize, cfg.LRUBytes),
 		slots: make(chan struct{}, cfg.MaxInFlight),
 	}
 }
@@ -364,7 +369,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) Metrics() Snapshot {
 	st := s.runner.Stats()
 	s.mu.Lock()
-	lruLen := s.lru.len()
+	lruLen, lruBytes := s.lru.len(), s.lru.size()
 	s.mu.Unlock()
 
 	snap := Snapshot{
@@ -381,6 +386,7 @@ func (s *Server) Metrics() Snapshot {
 		ShedWait:   s.met.shedWait.Load(),
 		Failed:     s.met.failed.Load(),
 		LRUSize:    lruLen,
+		LRUBytes:   lruBytes,
 		LatSumUS:   s.met.latSum.Load(),
 	}
 	snap.LRUHitRatio = ratio(snap.LRUHits, snap.RunOK)

@@ -130,12 +130,12 @@ func TestRunRejectsBadRequests(t *testing.T) {
 		path string
 		want int
 	}{
-		{"/run", http.StatusBadRequest},                      // no id
-		{"/run?id=NOPE", http.StatusNotFound},                // unknown scenario
-		{"/run?id=T1&seed=abc", http.StatusBadRequest},       // bad seed
-		{"/run?id=T1&rows=many", http.StatusBadRequest},      // mistyped param
-		{"/run?id=T1&bogus=1", http.StatusBadRequest},        // unknown param
-		{"/run?id=T1&rows=1&rows=2", http.StatusBadRequest},  // repeated param
+		{"/run", http.StatusBadRequest},                                 // no id
+		{"/run?id=NOPE", http.StatusNotFound},                           // unknown scenario
+		{"/run?id=T1&seed=abc", http.StatusBadRequest},                  // bad seed
+		{"/run?id=T1&rows=many", http.StatusBadRequest},                 // mistyped param
+		{"/run?id=T1&bogus=1", http.StatusBadRequest},                   // unknown param
+		{"/run?id=T1&rows=1&rows=2", http.StatusBadRequest},             // repeated param
 		{"/run?id=T1&seed=18446744073709551616", http.StatusBadRequest}, // uint64 overflow
 	}
 	for _, c := range cases {
@@ -361,7 +361,7 @@ func TestRunShedsOnQueueTimeout(t *testing.T) {
 }
 
 func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
-	l := newLRU(2)
+	l := newLRU(2, 0)
 	l.add("a", []byte("A"))
 	l.add("b", []byte("B"))
 	if _, ok := l.get("a"); !ok {
@@ -381,10 +381,129 @@ func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
 		t.Fatalf("len = %d, want 2", l.len())
 	}
 
-	disabled := newLRU(0)
+	disabled := newLRU(0, 0)
 	disabled.add("a", []byte("A"))
 	if _, ok := disabled.get("a"); ok || disabled.len() != 0 {
 		t.Fatal("disabled LRU stored an entry")
+	}
+}
+
+func TestLRUByteBound(t *testing.T) {
+	l := newLRU(100, 10)
+	l.add("a", []byte("aaaa")) // 4 bytes
+	l.add("b", []byte("bbbb")) // 8 bytes total
+	if l.len() != 2 || l.size() != 8 {
+		t.Fatalf("len/size = %d/%d, want 2/8", l.len(), l.size())
+	}
+
+	// A third small body pushes the total past 10: the oldest entry goes,
+	// even though the entry bound (100) is nowhere near exceeded.
+	l.add("c", []byte("cccc"))
+	if _, ok := l.get("a"); ok {
+		t.Fatal("a survived a byte-bound eviction")
+	}
+	if l.len() != 2 || l.size() != 8 {
+		t.Fatalf("after byte eviction len/size = %d/%d, want 2/8", l.len(), l.size())
+	}
+
+	// A body larger than the whole budget is never admitted — caching it
+	// would flush every other entry and still leave the cache over budget.
+	l.add("huge", []byte("0123456789ABCDEF"))
+	if _, ok := l.get("huge"); ok {
+		t.Fatal("over-budget body was cached")
+	}
+	if _, ok := l.get("b"); !ok {
+		t.Fatal("resident entry flushed by a rejected over-budget body")
+	}
+
+	// Refreshing an entry with a bigger body re-accounts its bytes and
+	// evicts colder entries as needed.
+	l.get("c") // promote c; b is now coldest
+	l.add("c", []byte("cccccccc"))
+	if _, ok := l.get("b"); ok {
+		t.Fatal("b survived a refresh that exceeded the byte budget")
+	}
+	if l.len() != 1 || l.size() != 8 {
+		t.Fatalf("after refresh len/size = %d/%d, want 1/8", l.len(), l.size())
+	}
+}
+
+// temporalDef mimics a timeline scenario: a multi-table time-series Result
+// whose rendered body grows with the tick count — the response shape that
+// made an entry-counted LRU balloon past its intended footprint.
+func temporalDef(id string) experiment.Def {
+	return experiment.Def{
+		ID:    id,
+		Title: "synthetic temporal " + id,
+		Claim: "serve test time series",
+		Seed:  7,
+		Params: experiment.Schema{
+			{Name: "ticks", Kind: experiment.Int, Default: 256, Doc: "time-series rows"},
+		},
+		Run: func(ctx context.Context, p experiment.Values, seed uint64) (*experiment.Result, error) {
+			res := &experiment.Result{}
+			tb := res.AddTable(id, "per-tick series", "tick", "value", "share")
+			r := rng.New(seed)
+			for i := 0; i < p.Int("ticks"); i++ {
+				tb.AddRow(experiment.I(i), experiment.F3(r.Float64()), experiment.F3(r.Float64()))
+			}
+			sum := res.AddTable(id+"-totals", "series totals", "ticks")
+			sum.AddRow(experiment.I(p.Int("ticks")))
+			return res, nil
+		},
+	}
+}
+
+func TestRunLargeTemporalResponseRespectsByteBudget(t *testing.T) {
+	reg := experiment.NewRegistry()
+	if err := reg.Register(temporalDef("TS")); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := experiment.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Registry: reg, Cache: cache, LRUSize: 64, LRUBytes: 4 << 10})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The 256-tick response is far over the 4 KiB budget: it must be served
+	// intact (twice, byte-identically via the disk cache) while the LRU stays
+	// empty — before byte bounding, one of these pinned the whole cache.
+	status, big := get(t, ts, "/run?id=TS&ticks=256")
+	if status != http.StatusOK {
+		t.Fatalf("large /run status = %d", status)
+	}
+	if len(big) <= 4<<10 {
+		t.Fatalf("test response only %d bytes; grow ticks so it exceeds the budget", len(big))
+	}
+	status, again := get(t, ts, "/run?id=TS&ticks=256")
+	if status != http.StatusOK || string(again) != string(big) {
+		t.Fatalf("repeat of uncached response differs: status %d", status)
+	}
+	m := srv.Metrics()
+	if m.LRUSize != 0 || m.LRUBytes != 0 {
+		t.Fatalf("over-budget response entered the LRU: size %d, bytes %d", m.LRUSize, m.LRUBytes)
+	}
+	if m.LRUHits != 0 || m.DiskHits != 1 || m.Executed != 1 {
+		t.Fatalf("metrics = %+v, want 0 LRU hits / 1 disk hit / 1 execution", m)
+	}
+
+	// A short series fits: it is cached, counted in lru_bytes, and the next
+	// request is a pure LRU hit.
+	status, small := get(t, ts, "/run?id=TS&ticks=4")
+	if status != http.StatusOK {
+		t.Fatalf("small /run status = %d", status)
+	}
+	if status, rep := get(t, ts, "/run?id=TS&ticks=4"); status != http.StatusOK || string(rep) != string(small) {
+		t.Fatalf("cached small response differs: status %d", status)
+	}
+	m = srv.Metrics()
+	if m.LRUSize != 1 || m.LRUBytes != int64(len(small)) {
+		t.Fatalf("LRU size/bytes = %d/%d, want 1/%d", m.LRUSize, m.LRUBytes, len(small))
+	}
+	if m.LRUHits != 1 {
+		t.Fatalf("LRU hits = %d, want 1", m.LRUHits)
 	}
 }
 

@@ -1,0 +1,62 @@
+package timeline
+
+// CNMachine replays community-network churn (fail/repair) through
+// cn.ChurnSim. Each Observe advances the demand process one epoch; the
+// demand draws are identical whatever the churn schedule, so served demand
+// responds to failures without the random process itself shifting.
+
+import (
+	"fmt"
+
+	"repro/internal/cn"
+)
+
+// CNMachine is a live churn-aware mesh simulation. Not safe for concurrent
+// use.
+type CNMachine struct {
+	sim *cn.ChurnSim
+}
+
+// NewCNMachine builds the mesh and demand model from cfg and starts every
+// member up.
+func NewCNMachine(cfg cn.ChurnConfig, sched cn.Scheduler) (*CNMachine, error) {
+	sim, err := cn.NewChurnSim(cfg, sched)
+	if err != nil {
+		return nil, err
+	}
+	return &CNMachine{sim: sim}, nil
+}
+
+// Cols: up members, offered/served airtime this epoch, the served share, and
+// mean light-user satisfaction.
+func (m *CNMachine) Cols() []Col {
+	return []Col{
+		{Name: "up", Prec: -1},
+		{Name: "offered", Prec: 1},
+		{Name: "served", Prec: 1},
+		{Name: "served-share", Prec: 3},
+		{Name: "light-sat", Prec: 3},
+	}
+}
+
+// Apply handles fail and repair events, strictly (see cn.ChurnSim.SetUp).
+func (m *CNMachine) Apply(ev Event) error {
+	switch ev.Kind {
+	case KindCNFail:
+		return m.sim.SetUp(ev.Node, false)
+	case KindCNRepair:
+		return m.sim.SetUp(ev.Node, true)
+	default:
+		return fmt.Errorf("CN machine cannot apply %s events", ev.Kind)
+	}
+}
+
+// Observe runs one demand epoch over the current up set.
+func (m *CNMachine) Observe(int) ([]float64, error) {
+	st := m.sim.Epoch()
+	share := 0.0
+	if st.Offered > 0 {
+		share = st.Served / st.Offered
+	}
+	return []float64{float64(st.Up), st.Offered, st.Served, share, st.LightSat}, nil
+}

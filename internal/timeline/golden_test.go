@@ -1,0 +1,78 @@
+package timeline
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/scenarios.golden.md from the current scenario output")
+
+// temporalIDs are the registered timeline experiments, in report order.
+var temporalIDs = []string{"E17", "E18", "E19"}
+
+// runTemporal executes E17–E19 through the batch runner (optionally cached)
+// and renders them.
+func runTemporal(t *testing.T, cache *experiment.Cache) (string, experiment.CacheStats) {
+	t.Helper()
+	jobs := make([]experiment.Job, 0, len(temporalIDs))
+	for _, id := range temporalIDs {
+		sc, ok := experiment.Get(id)
+		if !ok {
+			t.Fatalf("scenario %s not registered", id)
+		}
+		jobs = append(jobs, experiment.NewJob(sc))
+	}
+	runner := &experiment.Runner{Workers: 2, ScenarioWorkers: 2, Cache: cache}
+	results, err := runner.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return experiment.RenderMarkdown(results), runner.Stats()
+}
+
+// TestGoldenTemporalScenarios pins the E17–E19 tables byte for byte. The
+// golden is rewritten deliberately with
+// `go test ./internal/timeline -run TestGoldenTemporalScenarios -update`.
+func TestGoldenTemporalScenarios(t *testing.T) {
+	got, _ := runTemporal(t, nil)
+	path := filepath.Join("testdata", "scenarios.golden.md")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("temporal scenario output drifted from %s (re-run with -update only if the change is intended)", path)
+	}
+}
+
+// TestTemporalScenariosCacheByteIdentical runs E17–E19 cold through the disk
+// cache and again warm: the multi-table time-series results must survive the
+// encode/decode round trip byte-identically, with zero warm executions.
+func TestTemporalScenariosCacheByteIdentical(t *testing.T) {
+	cache, err := experiment.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, coldStats := runTemporal(t, cache)
+	if coldStats.Misses != int64(len(temporalIDs)) || coldStats.Hits != 0 {
+		t.Fatalf("cold stats = %+v, want %d pure misses", coldStats, len(temporalIDs))
+	}
+	warm, warmStats := runTemporal(t, cache)
+	if warmStats.Hits != int64(len(temporalIDs)) || warmStats.Misses != 0 {
+		t.Fatalf("warm stats = %+v, want %d pure hits", warmStats, len(temporalIDs))
+	}
+	if cold != warm {
+		t.Fatal("warm-cache temporal report differs from cold run")
+	}
+}

@@ -1,0 +1,109 @@
+package timeline
+
+// IXPMachine replays exchange-membership and regulation events against an
+// ixp.Fabric. Membership mutation marks the machine dirty; the next Observe
+// re-establishes sessions under the current regulation and re-converges the
+// topology cold (membership changes rewire peering wholesale, so this is the
+// honest cost model — the incremental path belongs to single-delta BGP
+// streams). Ticks without membership events reuse the converged tables.
+
+import (
+	"fmt"
+
+	"repro/internal/bgpsim"
+	"repro/internal/ixp"
+)
+
+// IXPMachine is live fabric state plus a demand set to classify each tick.
+// Not safe for concurrent use.
+type IXPMachine struct {
+	f       *ixp.Fabric
+	reg     ixp.Regulation
+	country string
+	demands []ixp.Demand
+	workers int
+	rt      *bgpsim.RoutingTables
+	dirty   bool
+}
+
+// NewIXPMachine wraps a fabric. country scopes the locality observation (and
+// regulation events name their own country); demands are classified against
+// the converged tables every tick. workers fans the cold re-convergences
+// (<= 0 means GOMAXPROCS; observations are identical for any value).
+func NewIXPMachine(f *ixp.Fabric, demands []ixp.Demand, country string, workers int) *IXPMachine {
+	return &IXPMachine{f: f, country: country, demands: demands, workers: workers, dirty: true}
+}
+
+// Apply handles join, leave, and regulate events. Joins and leaves are
+// strict: joining an exchange the AS is already a member of, or leaving one
+// it is not, is an error.
+func (m *IXPMachine) Apply(ev Event) error {
+	switch ev.Kind {
+	case KindIXPJoin:
+		x, ok := m.f.IXP(ev.Name)
+		if !ok {
+			return fmt.Errorf("%w: %s", ixp.ErrUnknownIXP, ev.Name)
+		}
+		if x.HasMember(ev.ASN) {
+			return fmt.Errorf("AS %d already a member of %s", ev.ASN, ev.Name)
+		}
+		if err := m.f.Join(ev.Name, ev.ASN, ev.Policy); err != nil {
+			return err
+		}
+	case KindIXPLeave:
+		x, ok := m.f.IXP(ev.Name)
+		if !ok {
+			return fmt.Errorf("%w: %s", ixp.ErrUnknownIXP, ev.Name)
+		}
+		if !x.HasMember(ev.ASN) {
+			return fmt.Errorf("AS %d not a member of %s", ev.ASN, ev.Name)
+		}
+		m.f.RetractMemberSessions(ev.Name, ev.ASN)
+		m.f.Leave(ev.Name, ev.ASN)
+	case KindRegulate:
+		m.reg = ixp.Regulation{Country: ev.Name, MandatoryPeering: true}
+	default:
+		return fmt.Errorf("IXP machine cannot apply %s events", ev.Kind)
+	}
+	m.dirty = true
+	return nil
+}
+
+// Cols: total memberships across exchanges, IXP-attributed sessions, the
+// domestic share of reachable demand volume, and the reachable share of
+// total demand volume.
+func (m *IXPMachine) Cols() []Col {
+	return []Col{
+		{Name: "members", Prec: -1},
+		{Name: "sessions", Prec: -1},
+		{Name: "domestic", Prec: 3},
+		{Name: "reach-share", Prec: 3},
+	}
+}
+
+// Observe re-establishes sessions and re-converges if membership or
+// regulation changed this tick, then classifies the demand set.
+func (m *IXPMachine) Observe(int) ([]float64, error) {
+	if m.dirty {
+		m.f.EstablishSessions(m.reg)
+		m.rt = m.f.Topo.ConvergeWorkers(m.workers)
+		m.dirty = false
+	}
+	members := 0
+	for _, name := range m.f.IXPNames() {
+		if x, ok := m.f.IXP(name); ok {
+			members += len(x.Members())
+		}
+	}
+	loc := m.f.Locality(m.rt, m.demands, m.country)
+	reachShare := 0.0
+	if loc.TotalVolume > 0 {
+		reachShare = loc.ReachableVolume / loc.TotalVolume
+	}
+	return []float64{
+		float64(members),
+		float64(m.f.Sessions()),
+		loc.DomesticShare(),
+		reachShare,
+	}, nil
+}

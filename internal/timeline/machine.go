@@ -1,0 +1,105 @@
+package timeline
+
+// The replay loop. A Machine is live simulation state that can apply the
+// events it understands and observe one row of metrics per tick; Replay
+// drives a stream through it and collects the time series. Determinism
+// contract: a Machine's Apply/Observe must be pure functions of its
+// construction arguments and the event sequence — no wall clock, no global
+// RNG, no map-iteration-order dependence — so Replay(stream, machine) is
+// byte-stable for a fixed seed at any worker count.
+
+import (
+	"fmt"
+
+	"repro/internal/experiment"
+)
+
+// Col describes one observation column. Prec >= 0 renders as a fixed-
+// precision float cell; Prec < 0 renders as an integer cell (the value is
+// truncated, which is exact for counters).
+type Col struct {
+	Name string
+	Prec int
+}
+
+// Machine is replayable simulation state.
+type Machine interface {
+	// Cols declares the observation columns, fixed for the machine's life.
+	Cols() []Col
+	// Apply applies one event. Machines are strict: an event of a kind the
+	// machine does not model, or one inapplicable to the current state
+	// (failing a down node, withdrawing an absent origin), is an error.
+	Apply(Event) error
+	// Observe returns the metric row for the tick just completed, parallel
+	// to Cols. It may advance machine-internal processes (e.g. one demand
+	// epoch) but must not depend on anything outside the machine.
+	Observe(tick int) ([]float64, error)
+}
+
+// Series is a replay's output: one row per tick, parallel to Cols. The tick
+// itself is implicit in the row index.
+type Series struct {
+	Cols []Col
+	Rows [][]float64
+}
+
+// Replay canonicalizes and validates the stream, then runs it through m: for
+// each tick in [0, Horizon), apply that tick's events in canonical order,
+// then observe. Optional hooks run after each tick's observation — the
+// property suite uses one to compare live state against a cold oracle
+// without re-implementing the loop.
+func Replay(s Stream, m Machine, hooks ...func(tick int) error) (*Series, error) {
+	cs := s.Canonicalize()
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Series{Cols: m.Cols()}
+	i := 0
+	for tick := 0; tick < cs.Horizon; tick++ {
+		for i < len(cs.Events) && cs.Events[i].At == tick {
+			if err := m.Apply(cs.Events[i]); err != nil {
+				return nil, fmt.Errorf("timeline: tick %d: apply %s: %w", tick, cs.Events[i].Kind, err)
+			}
+			i++
+		}
+		row, err := m.Observe(tick)
+		if err != nil {
+			return nil, fmt.Errorf("timeline: tick %d: observe: %w", tick, err)
+		}
+		if len(row) != len(out.Cols) {
+			return nil, fmt.Errorf("timeline: tick %d: observation has %d values, want %d", tick, len(row), len(out.Cols))
+		}
+		out.Rows = append(out.Rows, row)
+		for _, h := range hooks {
+			if err := h(tick); err != nil {
+				return nil, fmt.Errorf("timeline: tick %d: %w", tick, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table renders the series into res as a table with a leading "tick" column,
+// applying each Col's precision. The rendering is deterministic, so equal
+// series produce byte-equal experiment results.
+func (s *Series) Table(res *experiment.Result, id, title string) *experiment.Table {
+	cols := make([]string, 0, len(s.Cols)+1)
+	cols = append(cols, "tick")
+	for _, c := range s.Cols {
+		cols = append(cols, c.Name)
+	}
+	t := res.AddTable(id, title, cols...)
+	for tick, row := range s.Rows {
+		cells := make([]experiment.Cell, 0, len(row)+1)
+		cells = append(cells, experiment.I(tick))
+		for j, v := range row {
+			if s.Cols[j].Prec < 0 {
+				cells = append(cells, experiment.I64(int64(v)))
+			} else {
+				cells = append(cells, experiment.FP(v, s.Cols[j].Prec))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}

@@ -1,0 +1,314 @@
+package timeline
+
+// The timeline text format: a replayable artifact for event streams,
+// extending the bgpsim scenario grammar direction with tick-stamped lines.
+// One directive per line, '#' starts a comment, blank lines are ignored:
+//
+//	horizon <n>              ticks to replay (optional; inferred as the
+//	                         last event tick + 1 when omitted)
+//	<base directives>        a bgpsim topology (as/p2c/peer/origin/leaker),
+//	                         only in documents (ParseDoc), only before the
+//	                         first event line
+//	@<tick> <event>          an event at a tick; ticks must be nondecreasing
+//
+// Events:
+//
+//	@3 withdraw 64500 pfx-a      BGP deltas — exactly the bgpsim event
+//	@3 announce 64501 pfx-a      grammar (withdraw/announce/link+/link-/
+//	@4 link- p2c 10 64500        leak), applied through the incremental
+//	@7 leak 20                   engine
+//	@2 fail 5                    community-network member churn
+//	@6 repair 5
+//	@1 join IXP-MX 1000 open     exchange membership (policy: open,
+//	@5 leave IXP-MX 1000         selective, restrictive)
+//	@9 regulate MX               mandatory peering at MX's exchanges
+//
+// Parsing is strict — unknown directives, malformed ticks or ASNs,
+// out-of-order ticks, oversized inputs, and (when a base topology is
+// present) BGP events that do not apply to it in canonical order are all
+// errors, never silent skips. FormatStream/FormatDoc emit the canonical
+// form; parse ∘ format is the identity on it.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/bgpsim"
+	"repro/internal/ixp"
+)
+
+// maxLineBytes bounds one line of input, mirroring the bgpsim parser.
+const maxLineBytes = 1 << 10
+
+// Doc is a parsed timeline document: an optional base BGP topology (nil when
+// the document had no base directives) and the event stream. A document with
+// a base is self-contained — reportgen -timeline replays it end to end.
+type Doc struct {
+	Topo   *bgpsim.Topology
+	Stream Stream
+}
+
+// ParseDoc reads a timeline document: optional base topology, optional
+// horizon, events. When a base is present, every BGP event is validated
+// against a shadow copy in canonical order, so replaying the stream through
+// a BGPMachine over the base cannot fail.
+func ParseDoc(r io.Reader) (*Doc, error) { return parseTimeline(r, true) }
+
+// ParseDocString is ParseDoc over an in-memory document.
+func ParseDocString(s string) (*Doc, error) { return ParseDoc(strings.NewReader(s)) }
+
+// ParseStream reads a stream-only document (horizon + events); base topology
+// directives are rejected. BGP events parse but are not validated against
+// any topology — the machine is strict at replay time.
+func ParseStream(r io.Reader) (Stream, error) {
+	d, err := parseTimeline(r, false)
+	if err != nil {
+		return Stream{}, err
+	}
+	return d.Stream, nil
+}
+
+// ParseStreamString is ParseStream over an in-memory document.
+func ParseStreamString(s string) (Stream, error) { return ParseStream(strings.NewReader(s)) }
+
+// parseTimeline is the shared line loop.
+func parseTimeline(r io.Reader, allowBase bool) (*Doc, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, maxLineBytes), maxLineBytes)
+	var (
+		baseLines []string
+		events    []Event
+		horizon   = -1
+		lastAt    = 0
+		lineNo    = 0
+	)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		directive := fields[0]
+		var err error
+		switch {
+		case strings.HasPrefix(directive, "@"):
+			var at int
+			if at, err = strconv.Atoi(directive[1:]); err != nil || at < 0 || at >= MaxHorizon {
+				err = fmt.Errorf("bad tick %q (want @0..@%d)", directive, MaxHorizon-1)
+				break
+			}
+			if at < lastAt {
+				err = fmt.Errorf("tick %d after tick %d (ticks must be nondecreasing)", at, lastAt)
+				break
+			}
+			if len(events) >= MaxEvents {
+				err = fmt.Errorf("more than %d events", MaxEvents)
+				break
+			}
+			if len(fields) < 2 {
+				err = fmt.Errorf("want `@<tick> <event>`, got bare tick")
+				break
+			}
+			var ev Event
+			if ev, err = parseEvent(at, fields[1], fields[2:]); err != nil {
+				break
+			}
+			lastAt = at
+			events = append(events, ev)
+		case directive == "horizon":
+			if len(events) > 0 {
+				err = fmt.Errorf("horizon after first event line")
+				break
+			}
+			if horizon >= 0 {
+				err = fmt.Errorf("duplicate horizon directive")
+				break
+			}
+			if len(fields) != 2 {
+				err = fmt.Errorf("want `horizon <n>`, got %d args", len(fields)-1)
+				break
+			}
+			var h int
+			if h, err = strconv.Atoi(fields[1]); err != nil || h < 1 || h > MaxHorizon {
+				err = fmt.Errorf("bad horizon %q (want 1..%d)", fields[1], MaxHorizon)
+				break
+			}
+			horizon = h
+		case directive == "as" || directive == "p2c" || directive == "peer" ||
+			directive == "origin" || directive == "leaker":
+			if !allowBase {
+				err = fmt.Errorf("base directive %q not allowed in a stream document", directive)
+				break
+			}
+			if len(events) > 0 {
+				err = fmt.Errorf("base directive %q after first event line", directive)
+				break
+			}
+			baseLines = append(baseLines, strings.Join(fields, " "))
+		default:
+			err = fmt.Errorf("unknown directive %q", directive)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("timeline: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("timeline: reading document: %w", err)
+	}
+
+	if horizon < 0 {
+		if len(events) == 0 {
+			return nil, fmt.Errorf("timeline: empty document (no horizon, no events)")
+		}
+		horizon = lastAt + 1
+	}
+	doc := &Doc{Stream: Stream{Horizon: horizon, Events: events}.Canonicalize()}
+	if err := doc.Stream.Validate(); err != nil {
+		return nil, err
+	}
+	if len(baseLines) > 0 {
+		// Base errors carry bgpsim's line numbers within the collected base
+		// block, not the document; the message names the offending directive.
+		t, err := bgpsim.ParseTopologyString(strings.Join(baseLines, "\n") + "\n")
+		if err != nil {
+			return nil, fmt.Errorf("timeline: base topology: %w", err)
+		}
+		doc.Topo = t
+		shadow := t.Clone()
+		for i, e := range doc.Stream.Events {
+			if e.Kind != KindBGP {
+				continue
+			}
+			if err := shadow.ApplyDelta(e.Delta); err != nil {
+				return nil, fmt.Errorf("timeline: event %d (tick %d): %w", i, e.At, err)
+			}
+		}
+	}
+	return doc, nil
+}
+
+// parseEvent parses one event directive with its arguments.
+func parseEvent(at int, directive string, args []string) (Event, error) {
+	ev := Event{At: at}
+	switch directive {
+	case "withdraw", "announce", "link+", "link-", "leak":
+		d, err := bgpsim.ParseDelta(directive, args)
+		if err != nil {
+			return ev, err
+		}
+		ev.Kind, ev.Delta = KindBGP, d
+	case "fail", "repair":
+		if len(args) != 1 {
+			return ev, fmt.Errorf("want `%s <node>`, got %d args", directive, len(args))
+		}
+		node, err := strconv.Atoi(args[0])
+		if err != nil || node < 0 {
+			return ev, fmt.Errorf("bad node %q", args[0])
+		}
+		ev.Kind, ev.Node = KindCNFail, node
+		if directive == "repair" {
+			ev.Kind = KindCNRepair
+		}
+	case "join":
+		if len(args) != 3 {
+			return ev, fmt.Errorf("want `join <ixp> <asn> <policy>`, got %d args", len(args))
+		}
+		n, err := parseASN(args[1])
+		if err != nil {
+			return ev, err
+		}
+		pol, err := parsePolicy(args[2])
+		if err != nil {
+			return ev, err
+		}
+		ev.Kind, ev.Name, ev.ASN, ev.Policy = KindIXPJoin, args[0], n, pol
+	case "leave":
+		if len(args) != 2 {
+			return ev, fmt.Errorf("want `leave <ixp> <asn>`, got %d args", len(args))
+		}
+		n, err := parseASN(args[1])
+		if err != nil {
+			return ev, err
+		}
+		ev.Kind, ev.Name, ev.ASN = KindIXPLeave, args[0], n
+	case "regulate":
+		if len(args) != 1 {
+			return ev, fmt.Errorf("want `regulate <country>`, got %d args", len(args))
+		}
+		ev.Kind, ev.Name = KindRegulate, args[0]
+	default:
+		return ev, fmt.Errorf("unknown event directive %q", directive)
+	}
+	return ev, ev.validate()
+}
+
+func parseASN(s string) (bgpsim.ASN, error) {
+	v, err := strconv.ParseInt(s, 10, 32)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad ASN %q", s)
+	}
+	return bgpsim.ASN(v), nil
+}
+
+func parsePolicy(s string) (ixp.PeeringPolicy, error) {
+	switch s {
+	case "open":
+		return ixp.Open, nil
+	case "selective":
+		return ixp.Selective, nil
+	case "restrictive":
+		return ixp.Restrictive, nil
+	default:
+		return 0, fmt.Errorf("bad peering policy %q (want open, selective, or restrictive)", s)
+	}
+}
+
+// FormatStream renders the stream in canonical form: the horizon line, then
+// one `@<tick> <event>` line per event in canonical order. ParseStream ∘
+// FormatStream is the identity on canonical streams.
+func FormatStream(s Stream) string {
+	cs := s.Canonicalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "horizon %d\n", cs.Horizon)
+	for _, e := range cs.Events {
+		fmt.Fprintf(&b, "@%d %s\n", e.At, formatEvent(e))
+	}
+	return b.String()
+}
+
+// FormatDoc renders base topology (if any) then stream; inverse of ParseDoc
+// on canonical documents.
+func FormatDoc(d *Doc) string {
+	var b strings.Builder
+	if d.Topo != nil {
+		b.WriteString(bgpsim.FormatTopology(d.Topo))
+	}
+	b.WriteString(FormatStream(d.Stream))
+	return b.String()
+}
+
+// formatEvent renders the event portion of a line; inverse of parseEvent.
+func formatEvent(e Event) string {
+	switch e.Kind {
+	case KindBGP:
+		return bgpsim.FormatDelta(e.Delta)
+	case KindCNFail:
+		return fmt.Sprintf("fail %d", e.Node)
+	case KindCNRepair:
+		return fmt.Sprintf("repair %d", e.Node)
+	case KindIXPJoin:
+		return fmt.Sprintf("join %s %d %s", e.Name, e.ASN, e.Policy)
+	case KindIXPLeave:
+		return fmt.Sprintf("leave %s %d", e.Name, e.ASN)
+	case KindRegulate:
+		return fmt.Sprintf("regulate %s", e.Name)
+	}
+	return fmt.Sprintf("# bad event kind %d", int(e.Kind))
+}

@@ -1,0 +1,243 @@
+// Package timeline is the deterministic event-timeline engine: ordered
+// streams of at-tick events replayed against live simulation state, emitting
+// one observation row per tick. It turns the repository's single-equilibrium
+// simulators into the stories the paper actually tells — Telmex re-juggling
+// ASNs as regulators respond, community-network nodes failing and being
+// repaired, IXP membership shifting under a staged mandatory-peering law.
+//
+// The engine is three small pieces:
+//
+//   - Event / Stream (this file): a tick-stamped event with one payload per
+//     kind, and an ordered sequence of them with a horizon. Same-tick events
+//     apply in a documented canonical order (see Canonicalize), so a stream
+//     is a set of (tick, event) pairs with fully deterministic semantics —
+//     the order they were generated or written in a file never matters.
+//   - Machines (machine.go, bgp.go, cnmachine.go, ixpmachine.go): live state
+//     that knows how to apply the events it understands and to observe a row
+//     of per-tick metrics. The BGP machine drives bgpsim's incremental
+//     engine (falling back to cold column re-convergence exactly where the
+//     uniqueness gate demands — that logic lives in bgpsim, not here); the
+//     CN and IXP machines drive the churn hooks those packages expose.
+//   - Replay (machine.go): the loop — canonicalize, validate, apply each
+//     tick's events, observe, collect a time-series that converts to an
+//     experiment.Result table.
+//
+// Streams have a text format (parse.go): `@<tick> <event>` lines after an
+// optional base BGP topology, strictly parsed, with FormatStream/FormatDoc
+// as exact inverses — every timeline is a replayable artifact.
+package timeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bgpsim"
+	"repro/internal/ixp"
+)
+
+// Kind enumerates the event kinds a stream can carry.
+type Kind uint8
+
+const (
+	// KindBGP applies a bgpsim delta (withdraw/announce/link+/link-/leak)
+	// through the incremental engine. Payload: Delta.
+	KindBGP Kind = iota
+	// KindCNFail takes a community-network member down. Payload: Node.
+	KindCNFail
+	// KindCNRepair brings a failed member back up. Payload: Node.
+	KindCNRepair
+	// KindIXPJoin adds an AS to an exchange. Payload: Name, ASN, Policy.
+	KindIXPJoin
+	// KindIXPLeave removes an AS from an exchange, retracting its sessions
+	// there. Payload: Name, ASN.
+	KindIXPLeave
+	// KindRegulate enacts mandatory peering at the IXPs of a country.
+	// Payload: Name (the country code).
+	KindRegulate
+)
+
+// String returns the event-grammar keyword of the kind. BGP events have no
+// single keyword — they render as their delta line (see FormatStream).
+func (k Kind) String() string {
+	switch k {
+	case KindBGP:
+		return "bgp"
+	case KindCNFail:
+		return "fail"
+	case KindCNRepair:
+		return "repair"
+	case KindIXPJoin:
+		return "join"
+	case KindIXPLeave:
+		return "leave"
+	case KindRegulate:
+		return "regulate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one tick-stamped occurrence. Exactly the payload fields of its
+// Kind are meaningful; the rest stay zero.
+type Event struct {
+	At     int
+	Kind   Kind
+	Delta  bgpsim.Delta      // KindBGP
+	Node   int               // KindCNFail, KindCNRepair
+	Name   string            // KindIXPJoin/Leave: IXP name; KindRegulate: country
+	ASN    bgpsim.ASN        // KindIXPJoin, KindIXPLeave
+	Policy ixp.PeeringPolicy // KindIXPJoin
+}
+
+// validate checks the event's fields independent of any stream or state.
+func (e Event) validate() error {
+	if e.At < 0 {
+		return fmt.Errorf("timeline: negative tick %d", e.At)
+	}
+	switch e.Kind {
+	case KindBGP:
+		if e.Delta.Kind > bgpsim.DeltaLeakToggle {
+			return fmt.Errorf("timeline: bad delta kind %d", int(e.Delta.Kind))
+		}
+	case KindCNFail, KindCNRepair:
+		if e.Node < 0 {
+			return fmt.Errorf("timeline: negative node %d", e.Node)
+		}
+	case KindIXPJoin, KindIXPLeave:
+		if err := validateName(e.Name); err != nil {
+			return err
+		}
+		if e.ASN < 0 {
+			return fmt.Errorf("timeline: negative ASN %d", e.ASN)
+		}
+		if e.Kind == KindIXPJoin && (e.Policy < ixp.Open || e.Policy > ixp.Restrictive) {
+			return fmt.Errorf("timeline: bad peering policy %d", int(e.Policy))
+		}
+	case KindRegulate:
+		if err := validateName(e.Name); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("timeline: unknown event kind %d", int(e.Kind))
+	}
+	return nil
+}
+
+// validateName bounds the free-text token of join/leave/regulate events so
+// it survives the one-token-per-field text format.
+func validateName(s string) error {
+	if s == "" || len(s) > 64 || strings.ContainsAny(s, " \t\r\n#") || strings.Fields(s)[0] != s {
+		return fmt.Errorf("timeline: bad name %q (one token, <= 64 bytes, no '#')", s)
+	}
+	return nil
+}
+
+// less is the canonical event order: ascending tick, then kind, then the
+// kind's payload fields. Within a tick this is the order events APPLY in —
+// the documented semantics, not a display convention. BGP deltas sort
+// withdraws before announces (so a prefix can migrate between ASes in one
+// tick), link-ups before link-downs, leak toggles last; CN fails precede
+// repairs; IXP joins precede leaves; regulation applies after membership
+// settles. Ties beyond these fields are broken stably by input order.
+func less(a, b Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	switch a.Kind {
+	case KindBGP:
+		return deltaLess(a.Delta, b.Delta)
+	case KindCNFail, KindCNRepair:
+		return a.Node < b.Node
+	case KindIXPJoin, KindIXPLeave:
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.ASN != b.ASN {
+			return a.ASN < b.ASN
+		}
+		return a.Policy < b.Policy
+	default: // KindRegulate
+		return a.Name < b.Name
+	}
+}
+
+// deltaLess orders BGP deltas: kind (withdraw < announce < link+ < link- <
+// leak), then A, B, Prefix, Peer.
+func deltaLess(a, b bgpsim.Delta) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	if a.B != b.B {
+		return a.B < b.B
+	}
+	if a.Prefix != b.Prefix {
+		return a.Prefix < b.Prefix
+	}
+	return !a.Peer && b.Peer
+}
+
+// Stream limits, bounding what a hostile (fuzzed) document can demand.
+const (
+	MaxHorizon = 1 << 16
+	MaxEvents  = 4096
+)
+
+// Stream is an ordered event sequence with a horizon: replay covers ticks
+// 0..Horizon-1, applying each tick's events before observing it.
+type Stream struct {
+	Horizon int
+	Events  []Event
+}
+
+// Canonicalize returns a copy of the stream with events stably sorted into
+// the canonical application order (see less). Replay canonicalizes
+// internally, so any permutation of the same event multiset replays
+// identically; Canonicalize exists for code that wants the normal form
+// itself (FormatStream emits it).
+func (s Stream) Canonicalize() Stream {
+	out := Stream{Horizon: s.Horizon, Events: append([]Event(nil), s.Events...)}
+	sort.SliceStable(out.Events, func(i, j int) bool { return less(out.Events[i], out.Events[j]) })
+	return out
+}
+
+// Validate checks bounds and per-event fields. It does not require canonical
+// order (Canonicalize establishes that) and does not check applicability
+// against any state — machines are strict about that at replay time.
+func (s Stream) Validate() error {
+	if s.Horizon <= 0 || s.Horizon > MaxHorizon {
+		return fmt.Errorf("timeline: horizon %d outside [1, %d]", s.Horizon, MaxHorizon)
+	}
+	if len(s.Events) > MaxEvents {
+		return fmt.Errorf("timeline: %d events exceed limit %d", len(s.Events), MaxEvents)
+	}
+	for i, e := range s.Events {
+		if err := e.validate(); err != nil {
+			return fmt.Errorf("timeline: event %d: %w", i, err)
+		}
+		if e.At >= s.Horizon {
+			return fmt.Errorf("timeline: event %d at tick %d >= horizon %d", i, e.At, s.Horizon)
+		}
+	}
+	return nil
+}
+
+// Merge concatenates streams into one: the union of events under the longest
+// horizon, canonicalized. Scenario builders use it to overlay generated
+// sub-streams (e.g. staged joins plus a regulation date).
+func Merge(streams ...Stream) Stream {
+	var out Stream
+	for _, s := range streams {
+		if s.Horizon > out.Horizon {
+			out.Horizon = s.Horizon
+		}
+		out.Events = append(out.Events, s.Events...)
+	}
+	return out.Canonicalize()
+}
