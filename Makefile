@@ -75,12 +75,15 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Record the routing-engine + E1-E10 benchmark baseline into
-# BENCH_bgpsim.json (ns/op, B/op, allocs/op per benchmark). The baseline is
+# BENCH_bgpsim.json (ns/op, B/op, allocs/op per benchmark) and the timeline
+# replay baseline into BENCH_timeline.json (plus events/sec and cells/event
+# custom metrics for the flap-storm and composed replays). The baselines are
 # committed; re-run after perf-relevant changes and diff. BENCHTIME=1x gives
 # a quick single-iteration snapshot. BENCHREGEXP covers the engine scales,
 # the incremental-vs-cold delta pair, and the event-driven sweep pairs.
 BENCHTIME ?= 1s
 BENCHREGEXP = ^(BenchmarkConverge|BenchmarkDelta|BenchmarkSweep|BenchmarkLeakSweepEndToEnd|BenchmarkRunLeakSweep)
+TIMELINEREGEXP = ^(BenchmarkReplayFlapStorm|BenchmarkComposedReplay)$$
 bench-json:
 	@tmp=$$(mktemp); \
 	$(GO) test -run '^$$' -bench '$(BENCHREGEXP)' \
@@ -89,8 +92,13 @@ bench-json:
 		-benchmem -benchtime $(BENCHTIME) . >>$$tmp || { rm -f $$tmp; exit 1; }; \
 	$(GO) run ./cmd/benchjson -out BENCH_bgpsim.json <$$tmp; \
 	rm -f $$tmp
+	@tmp=$$(mktemp); \
+	$(GO) test -run '^$$' -bench '$(TIMELINEREGEXP)' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/timeline >>$$tmp || { rm -f $$tmp; exit 1; }; \
+	$(GO) run ./cmd/benchjson -out BENCH_timeline.json <$$tmp; \
+	rm -f $$tmp
 
-# Re-run the same benchmarks and gate them against the committed baseline:
+# Re-run the same benchmarks and gate them against the committed baselines:
 # any benchmark whose ns/op regressed more than MAXREGRESS percent fails.
 # Benchmarks that exist on only one side (added/retired) are reported, never
 # fatal. CI runs this with a looser threshold to absorb shared-runner noise.
@@ -102,6 +110,12 @@ bench-gate:
 	$(GO) test -run '^$$' -bench '^BenchmarkE([1-9]|10)[A-Z]' \
 		-benchmem -benchtime $(BENCHTIME) . >>$$tmp || { rm -f $$tmp; exit 1; }; \
 	$(GO) run ./cmd/benchjson -compare BENCH_bgpsim.json -max-regress $(MAXREGRESS) <$$tmp \
+		|| { rm -f $$tmp; exit 1; }; \
+	rm -f $$tmp
+	@tmp=$$(mktemp); \
+	$(GO) test -run '^$$' -bench '$(TIMELINEREGEXP)' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/timeline >>$$tmp || { rm -f $$tmp; exit 1; }; \
+	$(GO) run ./cmd/benchjson -compare BENCH_timeline.json -max-regress $(MAXREGRESS) <$$tmp \
 		|| { rm -f $$tmp; exit 1; }; \
 	rm -f $$tmp
 
@@ -132,7 +146,7 @@ serve-smoke:
 	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
 	[ -s $$tmp/addr ] || { echo "serve-smoke: humnetd did not start:" >&2; cat $$tmp/daemon.log >&2; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
 	$$tmp/humnetload -addr $$(cat $$tmp/addr) -n 2000 -variants 2 -repeat 2 -workers 16 \
-		-scenarios E7,E8,E9,E10,E17,E19 -expect-single-exec \
+		-scenarios E7,E8,E9,E10,E17,E19,E20 -expect-single-exec \
 		|| { echo "serve-smoke: humnetload failed" >&2; cat $$tmp/daemon.log >&2; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
 	kill $$pid; wait $$pid 2>/dev/null; rm -rf $$tmp; \
 	echo "serve-smoke ok (deterministic responses, single execution per triple)"

@@ -11,15 +11,19 @@ import (
 	"regexp"
 	"runtime"
 	"strconv"
+	"strings"
 )
 
-// Benchmark is one measured benchmark result.
+// Benchmark is one measured benchmark result. Metrics carries any custom
+// per-op units a benchmark reported via b.ReportMetric (e.g. "events/sec",
+// "cells/event"), keyed by unit; the three standard units stay first-class.
 type Benchmark struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  *int64  `json:"b_per_op,omitempty"`
-	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"b_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Baseline is the file layout of BENCH_bgpsim.json.
@@ -32,14 +36,64 @@ type Baseline struct {
 }
 
 var (
-	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
-	cpuLine   = regexp.MustCompile(`^cpu: (.+)$`)
+	cpuLine = regexp.MustCompile(`^cpu: (.+)$`)
 	// go test suffixes benchmark names with "-<GOMAXPROCS>" on multi-core
 	// machines and omits it on single-core ones. Strip it so a baseline
 	// recorded on one machine still matches a gate run on another; no
 	// benchmark here names its own sub-benchmarks "-<digits>".
 	procsSuffix = regexp.MustCompile(`-\d+$`)
 )
+
+// parseBenchLine parses one result line as (name, iterations, value-unit
+// pairs). Benchmarks that call b.ReportMetric emit their custom units between
+// ns/op and B/op, so positional parsing must walk the pairs rather than
+// anchor on ns/op coming last — a regex anchored that way silently drops
+// B/op and allocs/op the moment a benchmark reports a custom metric.
+func parseBenchLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil // e.g. a "BenchmarkX ... FAIL" status line
+	}
+	bench := Benchmark{Name: procsSuffix.ReplaceAllString(fields[0], ""), Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		value, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			bench.NsPerOp, err = strconv.ParseFloat(value, 64)
+			seenNs = true
+		case "B/op":
+			var v int64
+			if v, err = strconv.ParseInt(value, 10, 64); err == nil {
+				bench.BytesPerOp = &v
+			}
+		case "allocs/op":
+			var v int64
+			if v, err = strconv.ParseInt(value, 10, 64); err == nil {
+				bench.AllocsPerOp = &v
+			}
+		default:
+			var v float64
+			if v, err = strconv.ParseFloat(value, 64); err == nil {
+				if bench.Metrics == nil {
+					bench.Metrics = make(map[string]float64)
+				}
+				bench.Metrics[unit] = v
+			}
+		}
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("bad %s value in %q: %v", unit, line, err)
+		}
+	}
+	if !seenNs {
+		return Benchmark{}, false, nil
+	}
+	return bench, true, nil
+}
 
 // parseBenchOutput reads `go test -bench` text and collects the results.
 func parseBenchOutput(r io.Reader) (Baseline, error) {
@@ -56,34 +110,13 @@ func parseBenchOutput(r io.Reader) (Baseline, error) {
 			base.CPU = m[1]
 			continue
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		iters, err := strconv.ParseInt(m[2], 10, 64)
+		bench, ok, err := parseBenchLine(line)
 		if err != nil {
-			return base, fmt.Errorf("bad iteration count in %q: %v", line, err)
+			return base, err
 		}
-		ns, err := strconv.ParseFloat(m[3], 64)
-		if err != nil {
-			return base, fmt.Errorf("bad ns/op in %q: %v", line, err)
+		if ok {
+			base.Benchmarks = append(base.Benchmarks, bench)
 		}
-		bench := Benchmark{Name: procsSuffix.ReplaceAllString(m[1], ""), Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			v, err := strconv.ParseInt(m[4], 10, 64)
-			if err != nil {
-				return base, fmt.Errorf("bad B/op in %q: %v", line, err)
-			}
-			bench.BytesPerOp = &v
-		}
-		if m[5] != "" {
-			v, err := strconv.ParseInt(m[5], 10, 64)
-			if err != nil {
-				return base, fmt.Errorf("bad allocs/op in %q: %v", line, err)
-			}
-			bench.AllocsPerOp = &v
-		}
-		base.Benchmarks = append(base.Benchmarks, bench)
 	}
 	if err := sc.Err(); err != nil {
 		return base, err

@@ -11,6 +11,7 @@ pkg: repro/internal/bgpsim
 cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
 BenchmarkConvergeSerial/as100-4         	     100	   1000000 ns/op	  500000 B/op	    1000 allocs/op
 BenchmarkDeltaWithdraw/as10k-4          	    2000	     50000 ns/op
+BenchmarkReplayFlapStorm-4              	     300	   2000000 ns/op	      5432 cells/event	     98765 events/sec	  250000 B/op	     800 allocs/op
 PASS
 ok  	repro/internal/bgpsim	2.000s
 `
@@ -20,8 +21,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(base.Benchmarks) != 2 {
-		t.Fatalf("parsed %d benchmarks, want 2", len(base.Benchmarks))
+	if len(base.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(base.Benchmarks))
 	}
 	if base.CPU == "" {
 		t.Error("cpu line not captured")
@@ -39,6 +40,18 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 	if m := base.Benchmarks[1]; m.Name != "BenchmarkDeltaWithdraw/as10k" {
 		t.Errorf("procs suffix not stripped: %q", m.Name)
+	}
+	// Custom ReportMetric units land between ns/op and B/op in go test output;
+	// they must neither be dropped nor shadow the memory stats that follow.
+	c := base.Benchmarks[2]
+	if c.NsPerOp != 2e6 {
+		t.Errorf("ns/op lost around custom metrics: %+v", c)
+	}
+	if c.Metrics["cells/event"] != 5432 || c.Metrics["events/sec"] != 98765 {
+		t.Errorf("custom metrics parsed as %v", c.Metrics)
+	}
+	if c.BytesPerOp == nil || *c.BytesPerOp != 250000 || c.AllocsPerOp == nil || *c.AllocsPerOp != 800 {
+		t.Errorf("memory stats after custom metrics parsed as %+v", c)
 	}
 }
 

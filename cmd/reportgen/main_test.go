@@ -35,11 +35,11 @@ func TestCachedRunByteIdentical(t *testing.T) {
 	if cold != warm {
 		t.Fatal("warm-cache report differs from cold run")
 	}
-	if !strings.Contains(coldStats, "cache: 0 hits, 19 misses") {
-		t.Fatalf("cold stats = %q, want 19 misses", coldStats)
+	if !strings.Contains(coldStats, "cache: 0 hits, 22 misses") {
+		t.Fatalf("cold stats = %q, want 22 misses", coldStats)
 	}
-	if !strings.Contains(warmStats, "cache: 19 hits, 0 misses") {
-		t.Fatalf("warm stats = %q, want 19 pure hits", warmStats)
+	if !strings.Contains(warmStats, "cache: 22 hits, 0 misses") {
+		t.Fatalf("warm stats = %q, want 22 pure hits", warmStats)
 	}
 }
 

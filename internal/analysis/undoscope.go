@@ -20,15 +20,26 @@ import (
 //
 // The rule is configuration-driven (NewUndoScope) so fixture suites can
 // exercise it against a miniature state machine without colliding with the
-// real bgpsim package.
-var UndoScope = NewUndoScope(UndoScopeConfig{
-	PkgSuffix:  "/internal/bgpsim",
-	StateTypes: []string{"engine", "entry", "RoutingTables", "nodeArena"},
-	Roots: []string{
-		"Converge", "ConvergeWorkers", "ConvergeState", "ConvergeStateCtx",
-		"Apply", "applyScoped", "Revert",
+// real bgpsim package. The production instance carries one scope per
+// protected package: bgpsim's undo log, and the composition layer's cascade
+// bookkeeping (fired/pending/injected in Composition), which the same
+// argument protects — a Composition mutated outside Compose/Replay replays
+// a cascade history that never happened.
+var UndoScope = NewUndoScope(
+	UndoScopeConfig{
+		PkgSuffix:  "/internal/bgpsim",
+		StateTypes: []string{"engine", "entry", "RoutingTables", "nodeArena"},
+		Roots: []string{
+			"Converge", "ConvergeWorkers", "ConvergeState", "ConvergeStateCtx",
+			"Apply", "applyScoped", "Revert",
+		},
 	},
-})
+	UndoScopeConfig{
+		PkgSuffix:  "/internal/timeline",
+		StateTypes: []string{"Composition"},
+		Roots:      []string{"Compose", "ReplayCtx", "Replay"},
+	},
+)
 
 // UndoScopeConfig scopes the rule to one package, its protected state
 // types, and the entry points of the recording path (bare declaration
@@ -39,13 +50,19 @@ type UndoScopeConfig struct {
 	Roots      []string // functions the recording path starts from
 }
 
-// NewUndoScope builds an undoscope analyzer for the given configuration.
-// The production instance is UndoScope; tests build fixture-scoped ones.
-func NewUndoScope(cfg UndoScopeConfig) *Analyzer {
+// NewUndoScope builds an undoscope analyzer for the given configurations —
+// one scope per protected package; each pass runs the scope (if any) whose
+// package suffix matches. The production instance is UndoScope; tests build
+// fixture-scoped ones.
+func NewUndoScope(cfgs ...UndoScopeConfig) *Analyzer {
 	return &Analyzer{
 		Name: "undoscope",
 		Doc:  "engine state writes must be reachable from the undo-recording path (applyDelta/Revert)",
-		Run:  func(pass *Pass) { runUndoScope(pass, cfg) },
+		Run: func(pass *Pass) {
+			for _, cfg := range cfgs {
+				runUndoScope(pass, cfg)
+			}
+		},
 	}
 }
 

@@ -38,6 +38,11 @@ type ChurnSim struct {
 	demandRNG *rng.Rand
 	up        []bool
 	nUp       int
+	// scale multiplies every member's demand draw (1 = baseline). It scales
+	// the draw after the RNG consumes it, so changing the scale mid-run never
+	// perturbs the demand process itself — the same churn-independence
+	// guarantee SetUp keeps.
+	scale float64
 }
 
 // NewChurnSim builds the mesh and demand model exactly as Simulate does for
@@ -83,8 +88,24 @@ func NewChurnSim(cfg ChurnConfig, sched Scheduler) (*ChurnSim, error) {
 		demandRNG: demandRNG,
 		up:        up,
 		nUp:       cfg.Members,
+		scale:     1,
 	}, nil
 }
+
+// SetDemandScale sets the absolute demand multiplier applied to every
+// member's draw from now on. Idempotent — re-asserting the current scale is
+// a no-op — so an external controller (a timeline cascade) can set it every
+// epoch. The factor must be finite and in (0, 64].
+func (s *ChurnSim) SetDemandScale(f float64) error {
+	if !(f > 0) || f > 64 {
+		return fmt.Errorf("cn: demand scale %v outside (0, 64]", f)
+	}
+	s.scale = f
+	return nil
+}
+
+// DemandScale returns the current demand multiplier.
+func (s *ChurnSim) DemandScale() float64 { return s.scale }
 
 // SetUp marks member m up or down. It is strict in both directions — failing
 // a down member or repairing an up one is an error, never a no-op — so every
@@ -133,7 +154,7 @@ func (s *ChurnSim) Epoch() EpochStats {
 		if !s.up[i] {
 			continue
 		}
-		airDemand[i] = bytesDemand[i] * s.net.PathETX[i+1]
+		airDemand[i] = bytesDemand[i] * s.scale * s.net.PathETX[i+1]
 		offered += airDemand[i]
 	}
 	alloc := s.sched.Allocate(airDemand, s.capacity)

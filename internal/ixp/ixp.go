@@ -284,6 +284,82 @@ func (f *Fabric) EstablishSessions(reg Regulation) int {
 	return created
 }
 
+// EstablishMemberSessionsVia establishes exactly the sessions a full
+// EstablishSessions(reg) run would create for pairs involving member n —
+// same priority order, same attribution, same silent skip of pairs the
+// topology refuses — but routes each topology mutation through add instead
+// of Topo.AddPeer, so an incremental engine (timeline.IXPMachine) can apply
+// the new peer edges as deltas against live converged state. add receives
+// the pair in ascending-ASN order and a non-nil return skips the pair
+// without recording it, mirroring the cold path. Returns sessions created.
+//
+// Equivalence with the cold path rests on the establishment invariant: every
+// pair not involving n that agrees to peer already has its session (the
+// fabric re-establishes after every membership change), so a full run could
+// only add pairs involving n — the pairs this walks.
+func (f *Fabric) EstablishMemberSessionsVia(n bgpsim.ASN, reg Regulation, add func(a, b bgpsim.ASN) error) int {
+	created := 0
+	names := f.IXPNames()
+	sort.SliceStable(names, func(i, j int) bool {
+		return f.ixps[names[i]].Priority < f.ixps[names[j]].Priority
+	})
+	for _, name := range names {
+		x := f.ixps[name]
+		if !x.HasMember(n) {
+			continue
+		}
+		forced := reg.applies(x)
+		for _, m := range x.Members() {
+			if m == n {
+				continue
+			}
+			multilateral := x.members[n].viaRS && x.members[m].viaRS
+			agree := x.members[n].wouldPeer(m) && x.members[m].wouldPeer(n)
+			if !multilateral && !agree && !forced {
+				continue
+			}
+			if f.Topo.HasPeer(n, m) {
+				continue
+			}
+			k := sessionKey(n, m)
+			if err := add(k[0], k[1]); err != nil {
+				continue
+			}
+			f.sessionIXP[k] = name
+			created++
+		}
+	}
+	return created
+}
+
+// RetractMemberSessionsVia is RetractMemberSessions with the topology
+// mutation routed through remove instead of Topo.RemovePeer, for the same
+// incremental callers. remove receives the pair in ascending-ASN order;
+// unlike establishment (where a refused pair is a policy outcome), a failed
+// removal means the attribution map and the topology disagree, so it aborts
+// with the error. Returns the number of sessions retracted.
+func (f *Fabric) RetractMemberSessionsVia(ixpName string, n bgpsim.ASN, remove func(a, b bgpsim.ASN) error) (int, error) {
+	keys := make([][2]bgpsim.ASN, 0, 4)
+	for k, name := range f.sessionIXP {
+		if name == ixpName && (k[0] == n || k[1] == n) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for i, k := range keys {
+		if err := remove(k[0], k[1]); err != nil {
+			return i, fmt.Errorf("ixp: retract %s session (%d,%d): %w", ixpName, k[0], k[1], err)
+		}
+		delete(f.sessionIXP, k)
+	}
+	return len(keys), nil
+}
+
 func sessionKey(a, b bgpsim.ASN) [2]bgpsim.ASN {
 	if a > b {
 		a, b = b, a

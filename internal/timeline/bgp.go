@@ -48,6 +48,9 @@ func (m *BGPMachine) Cols() []Col {
 	}
 }
 
+// Kinds: BGP deltas only.
+func (m *BGPMachine) Kinds() []Kind { return []Kind{KindBGP} }
+
 // Apply applies one BGP delta incrementally and records its undo patch.
 func (m *BGPMachine) Apply(ev Event) error {
 	if ev.Kind != KindBGP {

@@ -39,13 +39,19 @@ func (m *CNMachine) Cols() []Col {
 	}
 }
 
-// Apply handles fail and repair events, strictly (see cn.ChurnSim.SetUp).
+// Kinds: churn plus the cross-domain demand-scale set.
+func (m *CNMachine) Kinds() []Kind { return []Kind{KindCNFail, KindCNRepair, KindCNDemand} }
+
+// Apply handles fail and repair events, strictly (see cn.ChurnSim.SetUp),
+// and demand events, idempotently (an absolute scale set).
 func (m *CNMachine) Apply(ev Event) error {
 	switch ev.Kind {
 	case KindCNFail:
 		return m.sim.SetUp(ev.Node, false)
 	case KindCNRepair:
 		return m.sim.SetUp(ev.Node, true)
+	case KindCNDemand:
+		return m.sim.SetDemandScale(ev.Value)
 	default:
 		return fmt.Errorf("CN machine cannot apply %s events", ev.Kind)
 	}

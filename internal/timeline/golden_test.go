@@ -12,10 +12,12 @@ import (
 
 var update = flag.Bool("update", false, "rewrite testdata/scenarios.golden.md from the current scenario output")
 
-// temporalIDs are the registered timeline experiments, in report order.
-var temporalIDs = []string{"E17", "E18", "E19"}
+// temporalIDs are the registered timeline experiments, in report order —
+// the single-machine replays E17–E19 and the composed scenarios E20–E22.
+var temporalIDs = []string{"E17", "E18", "E19", "E20", "E21", "E22"}
 
-// runTemporal executes E17–E19 through the batch runner (optionally cached)
+// runTemporal executes the temporal scenarios through the batch runner
+// (optionally cached)
 // and renders them.
 func runTemporal(t *testing.T, cache *experiment.Cache) (string, experiment.CacheStats) {
 	t.Helper()

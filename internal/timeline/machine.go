@@ -9,6 +9,7 @@ package timeline
 // byte-stable for a fixed seed at any worker count.
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/experiment"
@@ -26,6 +27,13 @@ type Col struct {
 type Machine interface {
 	// Cols declares the observation columns, fixed for the machine's life.
 	Cols() []Col
+	// Kinds declares the event kinds the machine consumes, fixed for the
+	// machine's life. It is the routing contract of the composition layer
+	// (compose.go): Compose requires the parts' kind sets to be disjoint and
+	// directs each merged-stream or cascade-injected event to the one part
+	// that claims its kind. Single-machine Replay ignores it — the stream is
+	// the machine's own, and Apply stays strict about every event in it.
+	Kinds() []Kind
 	// Apply applies one event. Machines are strict: an event of a kind the
 	// machine does not model, or one inapplicable to the current state
 	// (failing a down node, withdrawing an absent origin), is an error.
@@ -43,12 +51,21 @@ type Series struct {
 	Rows [][]float64
 }
 
-// Replay canonicalizes and validates the stream, then runs it through m: for
-// each tick in [0, Horizon), apply that tick's events in canonical order,
-// then observe. Optional hooks run after each tick's observation — the
-// property suite uses one to compare live state against a cold oracle
-// without re-implementing the loop.
+// Replay runs the stream through m with no cancellation point; it is
+// ReplayCtx under a background context, kept for callers (generators' tests,
+// benchmarks) with no context to thread.
 func Replay(s Stream, m Machine, hooks ...func(tick int) error) (*Series, error) {
+	return ReplayCtx(context.Background(), s, m, hooks...)
+}
+
+// ReplayCtx canonicalizes and validates the stream, then runs it through m:
+// for each tick in [0, Horizon), apply that tick's events in canonical
+// order, then observe. Optional hooks run after each tick's observation —
+// the property suite uses one to compare live state against a cold oracle
+// without re-implementing the loop. The context is checked once per tick and
+// passed implicitly to nothing: machines capture their own context at
+// construction if their internals fan out.
+func ReplayCtx(ctx context.Context, s Stream, m Machine, hooks ...func(tick int) error) (*Series, error) {
 	cs := s.Canonicalize()
 	if err := cs.Validate(); err != nil {
 		return nil, err
@@ -56,6 +73,9 @@ func Replay(s Stream, m Machine, hooks ...func(tick int) error) (*Series, error)
 	out := &Series{Cols: m.Cols()}
 	i := 0
 	for tick := 0; tick < cs.Horizon; tick++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("timeline: tick %d: %w", tick, err)
+		}
 		for i < len(cs.Events) && cs.Events[i].At == tick {
 			if err := m.Apply(cs.Events[i]); err != nil {
 				return nil, fmt.Errorf("timeline: tick %d: apply %s: %w", tick, cs.Events[i].Kind, err)

@@ -22,6 +22,14 @@ package timeline
 //	@1 join IXP-MX 1000 open     exchange membership (policy: open,
 //	@5 leave IXP-MX 1000         selective, restrictive)
 //	@9 regulate MX               mandatory peering at MX's exchanges
+//	@4 demand 2.5                cross-domain sets: CN demand scale,
+//	@6 pressure IXP-MX 1000 open soft (idempotent) exchange join, and
+//	@8 stake-shift -0.25         stakeholder attitude shift
+//
+// Float payloads (demand, stake-shift) render via strconv.FormatFloat 'g'
+// with -1 precision, so format ∘ parse round-trips them bit-exactly. Event
+// provenance (Event.Prov) is runtime-only and has no grammar: cascade-
+// injected events format like hand-written ones.
 //
 // Parsing is strict — unknown directives, malformed ticks or ASNs,
 // out-of-order ticks, oversized inputs, and (when a base topology is
@@ -243,6 +251,31 @@ func parseEvent(at int, directive string, args []string) (Event, error) {
 			return ev, fmt.Errorf("want `regulate <country>`, got %d args", len(args))
 		}
 		ev.Kind, ev.Name = KindRegulate, args[0]
+	case "pressure":
+		if len(args) != 3 {
+			return ev, fmt.Errorf("want `pressure <ixp> <asn> <policy>`, got %d args", len(args))
+		}
+		n, err := parseASN(args[1])
+		if err != nil {
+			return ev, err
+		}
+		pol, err := parsePolicy(args[2])
+		if err != nil {
+			return ev, err
+		}
+		ev.Kind, ev.Name, ev.ASN, ev.Policy = KindIXPPressure, args[0], n, pol
+	case "demand", "stake-shift":
+		if len(args) != 1 {
+			return ev, fmt.Errorf("want `%s <value>`, got %d args", directive, len(args))
+		}
+		v, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return ev, fmt.Errorf("bad %s value %q", directive, args[0])
+		}
+		ev.Kind, ev.Value = KindCNDemand, v
+		if directive == "stake-shift" {
+			ev.Kind = KindStakeShift
+		}
 	default:
 		return ev, fmt.Errorf("unknown event directive %q", directive)
 	}
@@ -309,6 +342,12 @@ func formatEvent(e Event) string {
 		return fmt.Sprintf("leave %s %d", e.Name, e.ASN)
 	case KindRegulate:
 		return fmt.Sprintf("regulate %s", e.Name)
+	case KindCNDemand:
+		return fmt.Sprintf("demand %s", strconv.FormatFloat(e.Value, 'g', -1, 64))
+	case KindIXPPressure:
+		return fmt.Sprintf("pressure %s %d %s", e.Name, e.ASN, e.Policy)
+	case KindStakeShift:
+		return fmt.Sprintf("stake-shift %s", strconv.FormatFloat(e.Value, 'g', -1, 64))
 	}
 	return fmt.Sprintf("# bad event kind %d", int(e.Kind))
 }

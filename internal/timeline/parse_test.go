@@ -130,6 +130,20 @@ func TestParseStreamErrors(t *testing.T) {
 		"long line":            "@1 regulate " + strings.Repeat("x", maxLineBytes) + "\n",
 		"bad delta arity":      "@1 withdraw 5\n",
 		"unknown delta signal": "@1 link~ p2c 1 2\n",
+		"demand arity":         "@1 demand\n",
+		"demand extra arg":     "@1 demand 2 3\n",
+		"demand not a number":  "@1 demand much\n",
+		"demand zero":          "@1 demand 0\n",
+		"demand negative":      "@1 demand -2\n",
+		"demand oversized":     "@1 demand 65\n",
+		"demand NaN":           "@1 demand NaN\n",
+		"stake-shift arity":    "@1 stake-shift\n",
+		"stake-shift bad":      "@1 stake-shift sour\n",
+		"stake-shift above":    "@1 stake-shift 1.5\n",
+		"stake-shift below":    "@1 stake-shift -1.5\n",
+		"pressure arity":       "@1 pressure IX 5\n",
+		"pressure bad policy":  "@1 pressure IX 5 sometimes\n",
+		"pressure bad ASN":     "@1 pressure IX x open\n",
 	}
 	for name, in := range cases {
 		if _, err := ParseStreamString(in); err == nil {
@@ -178,6 +192,8 @@ func FuzzParseStream(f *testing.F) {
 	f.Add("as 1\nas 2\np2c 1 2\norigin 2 p\nhorizon 3\n@1 withdraw 2 p\n@2 announce 2 p\n")
 	f.Add("as 1\nas 2\nas 3\np2c 1 2\np2c 1 3\norigin 3 q\n@1 leak 2\n@1 link- p2c 1 3\n@2 link+ p2c 1 3\n")
 	f.Add("horizon 65536\n@65535 fail 1\n")
+	f.Add("@0 demand 0.30000000000000004\n@1 pressure IX 9 open\n@2 stake-shift -0.999\n")
+	f.Add("horizon 9\n@3 demand 64\n@4 stake-shift 1\n@5 stake-shift -1\n@8 pressure IXP-MX 1000 restrictive\n")
 	f.Fuzz(func(t *testing.T, text string) {
 		if len(text) > 2048 {
 			return // bound convergence cost, not parser coverage

@@ -85,7 +85,7 @@ func runE17(ctx context.Context, p experiment.Values, seed uint64) (*experiment.
 	if err != nil {
 		return nil, err
 	}
-	series, err := Replay(st, m)
+	series, err := ReplayCtx(ctx, st, m)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +108,7 @@ func runE17(ctx context.Context, p experiment.Values, seed uint64) (*experiment.
 }
 
 // runE18 replays member churn through the community-network machine.
-func runE18(_ context.Context, p experiment.Values, seed uint64) (*experiment.Result, error) {
+func runE18(ctx context.Context, p experiment.Values, seed uint64) (*experiment.Result, error) {
 	sched, err := schedulerByName(p.String("scheduler"))
 	if err != nil {
 		return nil, err
@@ -127,7 +127,7 @@ func runE18(_ context.Context, p experiment.Values, seed uint64) (*experiment.Re
 	if err != nil {
 		return nil, err
 	}
-	series, err := Replay(st, m)
+	series, err := ReplayCtx(ctx, st, m)
 	if err != nil {
 		return nil, err
 	}
@@ -170,57 +170,9 @@ func runE19(ctx context.Context, p experiment.Values, seed uint64) (*experiment.
 	if nComp < 1 || nComp > 64 {
 		return nil, fmt.Errorf("timeline: competitors %d outside [1, 64]", nComp)
 	}
-	const (
-		transitASN   = bgpsim.ASN(1)
-		incumbentASN = bgpsim.ASN(100)
-		compBase     = bgpsim.ASN(1000)
-	)
-	topo := bgpsim.NewTopology()
-	if err := topo.AddAS(transitASN, bgpsim.ASInfo{Name: "Transit", Country: "US"}); err != nil {
+	f, demands, comps, err := buildMXWorld(nComp)
+	if err != nil {
 		return nil, err
-	}
-	if err := topo.AddAS(incumbentASN, bgpsim.ASInfo{Name: "Incumbent", Country: "MX", Org: "incumbent"}); err != nil {
-		return nil, err
-	}
-	if err := topo.AddProviderCustomer(transitASN, incumbentASN); err != nil {
-		return nil, err
-	}
-	if err := topo.Originate(incumbentASN, "pfx-incumbent"); err != nil {
-		return nil, err
-	}
-	comps := make([]bgpsim.ASN, nComp)
-	for i := range comps {
-		comps[i] = compBase + bgpsim.ASN(i)
-		if err := topo.AddAS(comps[i], bgpsim.ASInfo{Name: fmt.Sprintf("Comp-%d", i), Country: "MX"}); err != nil {
-			return nil, err
-		}
-		if err := topo.AddProviderCustomer(transitASN, comps[i]); err != nil {
-			return nil, err
-		}
-		if err := topo.Originate(comps[i], fmt.Sprintf("pfx-comp%d", i)); err != nil {
-			return nil, err
-		}
-	}
-	f := ixp.NewFabric(topo)
-	if _, err := f.AddIXP("IXP-MX", "MX"); err != nil {
-		return nil, err
-	}
-
-	// Every MX AS wants every other MX AS's prefix: the all-pairs domestic
-	// demand matrix whose locality the rollout is supposed to lift.
-	mxASes := append([]bgpsim.ASN{incumbentASN}, comps...)
-	prefixes := map[bgpsim.ASN]string{incumbentASN: "pfx-incumbent"}
-	for i, c := range comps {
-		prefixes[c] = fmt.Sprintf("pfx-comp%d", i)
-	}
-	var demands []ixp.Demand
-	for _, src := range mxASes {
-		for _, dst := range mxASes {
-			if src == dst {
-				continue
-			}
-			demands = append(demands, ixp.Demand{Src: src, Prefix: prefixes[dst], Volume: 1})
-		}
 	}
 
 	rollout, err := GenStagedRollout("IXP-MX", comps, ixp.Open, seed^streamSalt,
@@ -248,8 +200,15 @@ func runE19(ctx context.Context, p experiment.Values, seed uint64) (*experiment.
 			Event{At: at + 1, Kind: KindIXPJoin, Name: "IXP-MX", ASN: comps[0], Policy: ixp.Open})
 	}
 
-	m := NewIXPMachine(f, demands, "MX", experiment.WorkersFrom(ctx))
-	series, err := Replay(Merge(rollout, fixed), m)
+	m, err := NewIXPMachine(ctx, f, demands, "MX", experiment.WorkersFrom(ctx))
+	if err != nil {
+		return nil, err
+	}
+	st, err := Merge(rollout, fixed)
+	if err != nil {
+		return nil, err
+	}
+	series, err := ReplayCtx(ctx, st, m)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,167 @@
+package timeline
+
+// StakeholderMachine replays attitude shifts through the survey and PAR
+// models: a synthetic operator population whose latent attitudes move with
+// the infrastructure story (KindStakeShift events, usually cascade-injected
+// from another domain's observations), measured each tick by a stratified
+// survey whose frame under-covers exactly the hard-to-reach strata. The
+// measurement is therefore biased toward the visible operators — the paper's
+// "not in the room" effect — which delays any response a cascade rule keys
+// off the measured value. When its own measurement crosses the response
+// threshold the machine escalates the PAR project once: the marginal
+// stakeholders move to collaborating in the evaluation phase, visible in the
+// engagement column.
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/survey"
+)
+
+// stakeholderTies is the social-tie count of the synthetic population; the
+// ties only matter to snowball sampling, which this machine does not field,
+// but they keep the population draw identical to the E8 construction.
+const stakeholderTies = 3
+
+// StakeholderMachine is live population + project state. Not safe for
+// concurrent use.
+type StakeholderMachine struct {
+	pop        *survey.Population
+	proj       *par.Project
+	seed       uint64
+	perStratum int
+	noise      float64
+	threshold  float64
+
+	shift     float64
+	escalated bool
+	// lastMeasured carries the estimate over ticks where no one responds,
+	// so the measured column never goes undefined; starts at the neutral
+	// midpoint.
+	lastMeasured float64
+}
+
+// NewStakeholderMachine draws the default-strata population from seed and
+// opens a PAR project with one stakeholder per stratum, all merely informed
+// at problem formation. perStratum is the stratified sample's allocation per
+// stratum per tick; noise the response noise; threshold the measured
+// attitude below which the project escalates.
+func NewStakeholderMachine(seed uint64, perStratum int, noise, threshold float64) (*StakeholderMachine, error) {
+	if perStratum < 1 {
+		return nil, fmt.Errorf("timeline: per-stratum sample %d < 1", perStratum)
+	}
+	if !(noise >= 0) || !(threshold >= 0) || threshold > 1 {
+		return nil, fmt.Errorf("timeline: bad noise %v or threshold %v", noise, threshold)
+	}
+	specs := survey.DefaultStrata()
+	pop := survey.SynthPopulation(specs, stakeholderTies, rng.New(seed))
+	proj := par.NewProject("stakeholder-response")
+	for _, spec := range specs {
+		marginal := spec.FrameCoverage < 0.5
+		if err := proj.AddStakeholder(par.Stakeholder{
+			ID: spec.Name, Name: spec.Name, Role: "operator",
+			Marginal: marginal, ConsentRecorded: true,
+		}); err != nil {
+			return nil, err
+		}
+		if err := proj.Engage(par.Engagement{
+			StakeholderID: spec.Name, Phase: par.ProblemFormation,
+			Level: par.Informed, Notes: "baseline briefing",
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &StakeholderMachine{
+		pop: pop, proj: proj, seed: seed,
+		perStratum: perStratum, noise: noise, threshold: threshold,
+		lastMeasured: 0.5,
+	}, nil
+}
+
+// Cols: the true population attitude (shift applied), the survey's measured
+// estimate, the responding sample size, and the PAR coverage score.
+func (m *StakeholderMachine) Cols() []Col {
+	return []Col{
+		{Name: "attitude", Prec: 3},
+		{Name: "measured", Prec: 3},
+		{Name: "respondents", Prec: -1},
+		{Name: "engagement", Prec: 3},
+	}
+}
+
+// Kinds: attitude shifts only.
+func (m *StakeholderMachine) Kinds() []Kind { return []Kind{KindStakeShift} }
+
+// Apply handles stake-shift events: an absolute, idempotent set of the
+// population-wide attitude offset.
+func (m *StakeholderMachine) Apply(ev Event) error {
+	if ev.Kind != KindStakeShift {
+		return fmt.Errorf("stakeholder machine cannot apply %s events", ev.Kind)
+	}
+	m.shift = ev.Value
+	return nil
+}
+
+// Observe fields one stratified survey wave. The per-tick RNG derives from
+// (seed, tick) alone, so the measurement at tick t is identical whatever
+// happened at other ticks — sampling never couples ticks, only the shift
+// does.
+func (m *StakeholderMachine) Observe(tick int) ([]float64, error) {
+	attitude := 0.0
+	for _, p := range m.pop.People {
+		attitude += clamp01(p.TrueScore + m.shift)
+	}
+	attitude /= float64(len(m.pop.People))
+
+	r := rng.New(m.seed ^ (0x9e3779b97f4a7c15 * uint64(tick+1)))
+	sr := survey.StratifiedSample(m.pop, m.perStratum, r)
+	measured := m.lastMeasured
+	if len(sr.Respondents) > 0 {
+		sum := 0.0
+		for _, id := range sr.Respondents {
+			sum += clamp01(clamp01(m.pop.People[id].TrueScore+m.shift) + m.noise*r.NormFloat64())
+		}
+		measured = sum / float64(len(sr.Respondents))
+		m.lastMeasured = measured
+	}
+
+	if !m.escalated && measured < m.threshold {
+		m.escalated = true
+		for _, id := range m.proj.StakeholderIDs() {
+			s, _ := m.proj.Stakeholder(id)
+			if !s.Marginal {
+				continue
+			}
+			if err := m.proj.Engage(par.Engagement{
+				StakeholderID: id, Phase: par.Evaluation,
+				Level: par.Collaborating, Notes: "convened after the measured-attitude drop",
+			}); err != nil {
+				return nil, err
+			}
+		}
+		m.proj.Reflect(par.Evaluation, "measured attitude crossed the response threshold; brought marginal operators into evaluation")
+	}
+
+	return []float64{
+		attitude,
+		measured,
+		float64(len(sr.Respondents)),
+		m.proj.CoverageScore(),
+	}, nil
+}
+
+// Escalated reports whether the measured attitude has crossed the threshold.
+func (m *StakeholderMachine) Escalated() bool { return m.escalated }
+
+// clamp01 clips v into [0, 1].
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

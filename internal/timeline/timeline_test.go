@@ -33,12 +33,15 @@ func renderSeries(t *testing.T, s *Series) string {
 
 func TestKindString(t *testing.T) {
 	want := map[Kind]string{
-		KindBGP:      "bgp",
-		KindCNFail:   "fail",
-		KindCNRepair: "repair",
-		KindIXPJoin:  "join",
-		KindIXPLeave: "leave",
-		KindRegulate: "regulate",
+		KindBGP:         "bgp",
+		KindCNFail:      "fail",
+		KindCNRepair:    "repair",
+		KindIXPJoin:     "join",
+		KindIXPLeave:    "leave",
+		KindRegulate:    "regulate",
+		KindCNDemand:    "demand",
+		KindIXPPressure: "pressure",
+		KindStakeShift:  "stake-shift",
 	}
 	for k, s := range want {
 		if k.String() != s {
@@ -125,7 +128,10 @@ func TestStreamValidateBounds(t *testing.T) {
 func TestMergeUnionsUnderLongestHorizon(t *testing.T) {
 	a := Stream{Horizon: 3, Events: []Event{{At: 2, Kind: KindCNFail, Node: 1}}}
 	b := Stream{Horizon: 7, Events: []Event{{At: 1, Kind: KindCNRepair, Node: 0}}}
-	m := Merge(a, b)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.Horizon != 7 || len(m.Events) != 2 {
 		t.Fatalf("merge = horizon %d, %d events; want 7, 2", m.Horizon, len(m.Events))
 	}
@@ -278,7 +284,10 @@ func TestIXPMachineStrictMembership(t *testing.T) {
 	if _, err := f.AddIXP("IX", "MX"); err != nil {
 		t.Fatal(err)
 	}
-	m := NewIXPMachine(f, nil, "MX", 1)
+	m, err := NewIXPMachine(context.Background(), f, nil, "MX", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := m.Apply(Event{Kind: KindIXPJoin, Name: "nope", ASN: 1, Policy: ixp.Open}); err == nil {
 		t.Error("join of unknown IXP applied")
 	}
